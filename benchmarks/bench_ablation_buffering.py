@@ -1,0 +1,70 @@
+"""Ablation — software buffering (the paper's §VIII-A remark).
+
+The paper disables all software buffers and notes "more aggressive
+buffering will certainly favor TA and iTA", whose cost is dominated by
+random hash-bucket probes that hit the same hot buckets repeatedly.  This
+benchmark adds an LRU buffer pool of increasing size in front of the page
+charges and measures the billed random I/O per engine.
+
+Expected shape: TA/iTA's random-I/O bill collapses as the pool grows, while
+the sequential algorithms (SF/iNRA) barely change — they touch each page
+once anyway.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.workloads import make_workload
+from repro.eval.harness import format_table
+
+from conftest import write_result
+
+POOLS = (0, 64, 512)
+ENGINES = ("ta", "ita", "sf", "inra")
+
+
+def run_buffer_sweep(context, num_queries):
+    workload = make_workload(
+        context.collection, (11, 15), num_queries, modifications=0, seed=77
+    )
+    rows = []
+    for engine in ENGINES:
+        for pool in POOLS:
+            spec = engine if pool == 0 else f"{engine}-buf{pool}"
+            summary = context.run_workload(spec, workload, 0.8)
+            hits = sum(
+                getattr(r.stats, "buffer_hits", 0)
+                for r in summary.per_query
+            )
+            rows.append(
+                {
+                    "engine": engine,
+                    "pool_pages": pool,
+                    "avg_rand_pages": round(summary.avg_random_pages, 1),
+                    "avg_seq_pages": round(
+                        summary.avg_sequential_pages, 1
+                    ),
+                    "buffer_hits": hits,
+                    "avg_io_cost": round(summary.avg_io_cost, 1),
+                }
+            )
+    return rows
+
+
+def test_buffering_favors_ta(benchmark, context, num_queries, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_buffer_sweep(context, num_queries), rounds=1, iterations=1
+    )
+    write_result(results_dir, "ablation_buffering.txt", format_table(rows))
+    by = {(r["engine"], r["pool_pages"]): r for r in rows}
+    # TA and iTA: the random-I/O bill shrinks substantially with a pool.
+    for engine in ("ta", "ita"):
+        cold = by[(engine, 0)]["avg_rand_pages"]
+        warm = by[(engine, 512)]["avg_rand_pages"]
+        assert warm < cold, engine
+        assert by[(engine, 512)]["buffer_hits"] > 0, engine
+    # TA benefits more than SF in absolute terms (the paper's point).
+    ta_gain = by[("ta", 0)]["avg_io_cost"] - by[("ta", 512)]["avg_io_cost"]
+    sf_gain = by[("sf", 0)]["avg_io_cost"] - by[("sf", 512)]["avg_io_cost"]
+    assert ta_gain > sf_gain

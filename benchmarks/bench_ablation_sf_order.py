@@ -1,0 +1,69 @@
+"""Ablation — SF's list processing order (beyond the paper).
+
+SF's λ machinery is order-agnostic (the correctness argument only needs
+suffix sums), so decreasing-idf is a heuristic, not a requirement.  This
+ablation compares it against two alternatives on the default corpus:
+shortest-list-first and weight-density
+(``idf²/list_length``).  The paper's intuition — rare tokens first — is
+expected to win or tie, since high idf simultaneously means short lists
+*and* fast λ decay; the ablation quantifies the margin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.workloads import make_workload
+from repro.eval.harness import format_table
+
+from conftest import write_result
+
+ORDERS = ("idf", "shortest-list", "density")
+
+
+def run_order_sweep(context, num_queries):
+    workload = make_workload(
+        context.collection, (11, 15), num_queries, modifications=0, seed=77
+    )
+    rows = []
+    for tau in (0.6, 0.8, 0.9):
+        for order in ORDERS:
+            elems = 0
+            wall = 0.0
+            answers = 0
+            for q in workload:
+                query = context.prepare(q)
+                from repro.algorithms import make_algorithm
+
+                alg = make_algorithm(
+                    "sf", context.searcher.index, list_order=order
+                )
+                r = alg.search(query, tau)
+                elems += r.stats.elements_read
+                wall += r.wall_seconds
+                answers += len(r)
+            rows.append(
+                {
+                    "tau": tau,
+                    "order": order,
+                    "total_elems": elems,
+                    "total_answers": answers,
+                    "wall_ms": round(wall * 1000, 1),
+                }
+            )
+    return rows
+
+
+def test_sf_order_ablation(benchmark, context, num_queries, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_order_sweep(context, num_queries), rounds=1, iterations=1
+    )
+    write_result(results_dir, "ablation_sf_order.txt", format_table(rows))
+    by = {(r["tau"], r["order"]): r for r in rows}
+    for tau in (0.6, 0.8, 0.9):
+        # Identical answers under every order (correctness is order-free).
+        counts = {by[(tau, o)]["total_answers"] for o in ORDERS}
+        assert len(counts) == 1, tau
+        # The paper's idf order is within 20% of the best strategy.
+        best = min(by[(tau, o)]["total_elems"] for o in ORDERS)
+        assert by[(tau, "idf")]["total_elems"] <= best * 1.2, tau

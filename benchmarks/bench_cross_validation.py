@@ -1,0 +1,102 @@
+"""Cross-validation benchmarks: real SQLite vs. simulated SQL, DBLP trends.
+
+Two fidelity checks that are not paper figures but guard the reproduction:
+
+1. The simulated relational engine (Section III-A as we model it) must
+   return exactly what a *real* SQL engine returns for the same schema and
+   plan — executed here on stdlib SQLite.
+2. "Results for DBLP followed identical trends" (Section VIII-A): the
+   headline orderings measured on the IMDB-like corpus must also hold on
+   the DBLP-like corpus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.collection import SetCollection
+from repro.core.tokenize import QGramTokenizer
+from repro.data.synthetic import distinct_words, generate_dblp_records
+from repro.data.workloads import make_workload
+from repro.eval.harness import ExperimentContext, format_table
+from repro.relational.sqlite_backend import SqliteBaseline
+
+from conftest import write_result
+
+
+def test_sqlite_matches_simulated_sql(benchmark, context, num_queries, results_dir):
+    workload = make_workload(
+        context.collection, (11, 15), min(num_queries, 15),
+        modifications=0, seed=77,
+    )
+
+    def run():
+        engine = SqliteBaseline(context.collection)
+        rows = []
+        mismatches = 0
+        for tau in (0.6, 0.8, 0.95):
+            agree = 0
+            for q in workload:
+                pq = context.prepare(q)
+                real = {r.set_id for r in engine.search(pq, tau).results}
+                sim = {
+                    r.set_id
+                    for r in context.sql_engine().search(pq, tau).results
+                }
+                if real == sim:
+                    agree += 1
+                else:
+                    mismatches += 1
+            rows.append(
+                {"tau": tau, "queries": len(workload), "agreeing": agree}
+            )
+        engine.close()
+        return rows, mismatches
+
+    rows, mismatches = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        results_dir, "cross_sqlite_vs_simulated.txt", format_table(rows)
+    )
+    assert mismatches == 0
+
+
+def build_dblp_context():
+    records = generate_dblp_records(2500, seed=5)
+    words = distinct_words(records)
+    collection = SetCollection.from_strings(words, QGramTokenizer(q=3))
+    return ExperimentContext(collection)
+
+
+def test_dblp_trends_identical(benchmark, num_queries, results_dir):
+    """The paper's §VIII-A claim, checked on the second corpus flavour."""
+
+    def run():
+        context = build_dblp_context()
+        workload = make_workload(
+            context.collection, (11, 15), num_queries,
+            modifications=0, seed=6,
+        )
+        return [
+            context.run_workload(engine, workload, 0.9)
+            for engine in (
+                "sort-by-id", "nra", "ta", "inra", "ita", "sf", "hybrid",
+            )
+        ]
+
+    summaries = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        results_dir, "cross_dblp_trends.txt",
+        format_table(
+            [s.row() for s in summaries],
+            ["engine", "avg_results", "pruning_pct", "avg_elems_read",
+             "avg_io_cost"],
+        ),
+    )
+    by = {s.engine: s for s in summaries}
+    # The same orderings as on the IMDB-like corpus:
+    assert by["sort-by-id"].avg_pruning_power == 0.0
+    assert by["inra"].avg_elements_read <= by["nra"].avg_elements_read
+    assert by["hybrid"].avg_elements_read <= by["inra"].avg_elements_read
+    assert by["sf"].avg_elements_read < by["sort-by-id"].avg_elements_read
+    assert by["ita"].avg_pruning_power >= by["inra"].avg_pruning_power
+    assert by["ta"].avg_io_cost > 10 * by["sf"].avg_io_cost

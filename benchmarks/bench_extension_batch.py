@@ -1,0 +1,65 @@
+"""Extension benchmark — shared-scan batch execution vs query-at-a-time.
+
+Measures the crossover the batch module's docstring predicts: on heavily
+overlapping workloads (a dedup pass re-queries the same hot tokens) the
+shared scan reads each list once; on disjoint workloads it degenerates to
+the per-query plan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.batch import BatchSelector
+from repro.data.workloads import make_workload
+from repro.eval.harness import format_table
+
+from conftest import write_result
+
+
+def run_batch_comparison(context, num_queries):
+    rows = []
+    for label, modifications in (("overlapping", 0), ("perturbed", 2)):
+        workload = make_workload(
+            context.collection, (11, 15), num_queries,
+            modifications=modifications, seed=88,
+        )
+        # Duplicate every query 3x: the dedup-pass shape.
+        texts = list(workload) * 3
+        queries = []
+        for text in texts:
+            tokens = context.tokenizer.tokens(text)
+            if tokens:
+                queries.append(context.prepare(text))
+
+        batch = BatchSelector(context.searcher.index)
+        _results, shared = batch.search_many(queries, 0.8)
+
+        solo_elems = 0
+        for q in queries:
+            r = context.searcher.search_prepared(q, 0.8, algorithm="sf")
+            solo_elems += r.stats.elements_read
+
+        rows.append(
+            {
+                "workload": label,
+                "queries": len(queries),
+                "batch_elements": shared.elements_read,
+                "per_query_sf_elements": solo_elems,
+                "saving_x": round(
+                    solo_elems / max(shared.elements_read, 1), 2
+                ),
+            }
+        )
+    return rows
+
+
+def test_batch_shared_scans(benchmark, context, num_queries, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_batch_comparison(context, num_queries),
+        rounds=1, iterations=1,
+    )
+    write_result(results_dir, "extension_batch.txt", format_table(rows))
+    by = {r["workload"]: r for r in rows}
+    # With 3x duplicated queries the shared scan must beat per-query SF.
+    assert by["overlapping"]["saving_x"] > 1.5

@@ -1,0 +1,88 @@
+"""Extension benchmark — similarity self-join on the selection primitive.
+
+Not a paper figure (the paper contrasts itself with join work); measures
+the join built from repeated selections: total postings read vs. the
+quadratic baseline's comparison count, and which selection algorithm suits
+the join best.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.join import (
+    brute_force_self_join,
+    similarity_clusters,
+    similarity_self_join,
+)
+from repro.core.search import SetSimilaritySearcher
+from repro.data.errors import make_graded_dataset
+from repro.data.synthetic import generate_records
+from repro.core.collection import SetCollection
+from repro.core.tokenize import WordQGramTokenizer
+from repro.eval.harness import format_table
+
+from conftest import write_result
+
+
+def build_duplicate_corpus():
+    clean = generate_records(
+        150, vocabulary_size=700, words_per_record=(2, 3), seed=13
+    )
+    dataset = make_graded_dataset(6, clean, duplicates_per_string=2, seed=13)
+    collection = SetCollection.from_strings(
+        dataset.strings, WordQGramTokenizer(q=3)
+    )
+    return dataset, SetSimilaritySearcher(collection)
+
+
+def run_join_bench():
+    dataset, searcher = build_duplicate_corpus()
+    n = len(searcher.collection)
+    rows = []
+    for tau in (0.5, 0.7, 0.9):
+        for algorithm in ("sf", "inra"):
+            join = similarity_self_join(searcher, tau, algorithm)
+            rows.append(
+                {
+                    "tau": tau,
+                    "algorithm": algorithm,
+                    "pairs": len(join),
+                    "elements_read": join.stats.elements_read,
+                    "quadratic_comparisons": n * (n - 1) // 2,
+                    "wall_s": round(join.wall_seconds, 3),
+                }
+            )
+    clusters = similarity_clusters(searcher, 0.5)
+    return dataset, searcher, rows, clusters
+
+
+def test_join_extension(benchmark, results_dir):
+    dataset, searcher, rows, clusters = benchmark.pedantic(
+        run_join_bench, rounds=1, iterations=1
+    )
+    write_result(results_dir, "extension_join.txt", format_table(rows))
+    by = {(r["tau"], r["algorithm"]): r for r in rows}
+    # Same pair count regardless of the selection algorithm used.
+    for tau in (0.5, 0.7, 0.9):
+        assert by[(tau, "sf")]["pairs"] == by[(tau, "inra")]["pairs"]
+    # Higher tau => fewer pairs.
+    assert by[(0.9, "sf")]["pairs"] <= by[(0.5, "sf")]["pairs"]
+    # Clustering recovers a solid share of the true duplicate groups: a
+    # cluster is 'pure' if all members share one ground-truth group.
+    pure = sum(
+        1
+        for cluster in clusters
+        if len({dataset.groups[i] for i in cluster}) == 1
+    )
+    assert pure >= len(clusters) * 0.5
+    assert len(clusters) >= 50  # most of the 150 groups surface
+
+    # Exactness on a small slice (the full O(n^2) check lives in tests/).
+    small = SetCollection.from_strings(
+        dataset.strings[:60], WordQGramTokenizer(q=3)
+    )
+    small_searcher = SetSimilaritySearcher(small)
+    got = {(p.a, p.b) for p in similarity_self_join(small_searcher, 0.6)}
+    ref = {(p.a, p.b) for p in brute_force_self_join(small, 0.6)}
+    assert got == ref

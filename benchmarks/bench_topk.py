@@ -1,0 +1,65 @@
+"""Extension benchmark — top-k selection (the paper's Section X future work).
+
+Not a paper figure; measures the dynamic-threshold top-k search against the
+exhaustive ranking baseline, and how its pruning scales with k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.workloads import make_workload
+from repro.eval.harness import format_table
+
+from conftest import write_result
+
+
+def run_topk(context, num_queries):
+    workload = make_workload(
+        context.collection, (11, 15), num_queries, modifications=1, seed=80
+    )
+    rows = []
+    for k in (1, 5, 20, 100):
+        elems = 0
+        totals = 0
+        answers = 0
+        for q in workload:
+            tokens = context.tokenizer.tokens(q)
+            if not tokens:
+                continue
+            result = context.searcher.top_k(tokens, k)
+            elems += result.stats.elements_read
+            totals += result.elements_total
+            answers += len(result)
+        rows.append(
+            {
+                "k": k,
+                "avg_answers": round(answers / len(workload), 1),
+                "avg_elems_read": round(elems / len(workload), 1),
+                "pruning_pct": round(100 * (1 - elems / max(totals, 1)), 1),
+            }
+        )
+    return rows
+
+
+def test_topk_scaling(benchmark, context, num_queries, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_topk(context, num_queries), rounds=1, iterations=1
+    )
+    write_result(results_dir, "extension_topk.txt", format_table(rows))
+    by_k = {r["k"]: r for r in rows}
+    # Smaller k => higher theta => stronger pruning.
+    assert by_k[1]["avg_elems_read"] <= by_k[100]["avg_elems_read"]
+    # Even k=100 avoids exhaustive reading.
+    assert by_k[100]["pruning_pct"] > 0.0
+
+
+def test_benchmark_topk_wallclock(benchmark, context, default_workload):
+    queries = list(default_workload)[:10]
+
+    def run():
+        for q in queries:
+            tokens = context.tokenizer.tokens(q)
+            context.searcher.top_k(tokens, 10)
+
+    benchmark(run)

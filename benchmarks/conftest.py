@@ -1,0 +1,83 @@
+"""Shared benchmark fixtures: the experiment corpus and context.
+
+The corpus here plays the role of the paper's IMDB word table (Section
+VIII-A): records are generated synthetically (see
+:mod:`repro.data.synthetic`), decomposed into distinct words, and each word
+becomes a set of padded 3-grams.  Workloads are smaller than the paper's
+100-word ones (30 words per workload) purely to keep pure-Python benchmark
+runtime reasonable; pass ``--repro-queries N`` / ``--repro-records N`` to
+scale up.
+
+Every benchmark writes its paper-style table into ``benchmarks/results/``
+so the regenerated rows survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.data.synthetic import generate_word_database
+from repro.data.workloads import make_workload
+from repro.eval.harness import ExperimentContext
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-records",
+        type=int,
+        default=4000,
+        help="synthetic records for the benchmark corpus",
+    )
+    parser.addoption(
+        "--repro-queries",
+        type=int,
+        default=30,
+        help="queries per workload (paper: 100)",
+    )
+
+
+@pytest.fixture(scope="session")
+def corpus(request):
+    records = request.config.getoption("--repro-records")
+    collection, words = generate_word_database(
+        num_records=records, vocabulary_size=max(records // 2, 500), seed=2008
+    )
+    return collection, words
+
+
+@pytest.fixture(scope="session")
+def context(corpus):
+    collection, _words = corpus
+    return ExperimentContext(collection)
+
+
+@pytest.fixture(scope="session")
+def num_queries(request):
+    return request.config.getoption("--repro-queries")
+
+
+@pytest.fixture(scope="session")
+def default_workload(context, num_queries):
+    """The paper's default workload: 11-15 grams, 0 modifications."""
+    return make_workload(
+        context.collection, bucket=(11, 15), count=num_queries,
+        modifications=0, seed=77,
+    )
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist a paper-style table and echo it for -s runs."""
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n[{name}]\n{text}")

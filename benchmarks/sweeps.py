@@ -1,0 +1,93 @@
+"""Shared sweep drivers for the Figure 6-9 benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.data.workloads import GRAM_BUCKETS, make_workload
+from repro.eval.harness import ExperimentContext, WorkloadSummary
+
+ALL_ENGINES = (
+    "sort-by-id",
+    "sql",
+    "ta",
+    "nra",
+    "inra",
+    "ita",
+    "sf",
+    "hybrid",
+)
+LIST_ENGINES = ("ta", "nra", "inra", "ita", "sf", "hybrid")
+IMPROVED_ENGINES = ("inra", "ita", "sf", "hybrid")
+
+
+def threshold_sweep(
+    context: ExperimentContext,
+    engines: Sequence[str],
+    num_queries: int,
+    taus: Sequence[float] = (0.6, 0.7, 0.8, 0.9),
+) -> List[WorkloadSummary]:
+    """Figure 6(a)/7(a): vary tau; 11-15 grams, 0 modifications."""
+    workload = make_workload(
+        context.collection, (11, 15), num_queries, modifications=0, seed=77
+    )
+    return [
+        context.run_workload(engine, workload, tau)
+        for tau in taus
+        for engine in engines
+    ]
+
+
+def query_size_sweep(
+    context: ExperimentContext,
+    engines: Sequence[str],
+    num_queries: int,
+    tau: float = 0.8,
+) -> List[WorkloadSummary]:
+    """Figure 6(b)/7(b): vary the gram-count bucket at tau=0.8."""
+    out: List[WorkloadSummary] = []
+    for bucket in GRAM_BUCKETS:
+        workload = make_workload(
+            context.collection, bucket, num_queries, modifications=0, seed=78
+        )
+        out.extend(
+            context.run_workload(engine, workload, tau) for engine in engines
+        )
+    return out
+
+
+def modification_sweep(
+    context: ExperimentContext,
+    engines: Sequence[str],
+    num_queries: int,
+    tau: float = 0.6,
+    modifications: Sequence[int] = (0, 1, 2, 3),
+) -> List[WorkloadSummary]:
+    """Figure 6(c)/7(c): vary modifications; 11-15 grams, tau=0.6."""
+    out: List[WorkloadSummary] = []
+    for mods in modifications:
+        workload = make_workload(
+            context.collection, (11, 15), num_queries,
+            modifications=mods, seed=79,
+        )
+        out.extend(
+            context.run_workload(engine, workload, tau) for engine in engines
+        )
+    return out
+
+
+def rows_of(summaries: Sequence[WorkloadSummary]) -> List[Dict]:
+    return [s.row() for s in summaries]
+
+
+def pivot(
+    summaries: Sequence[WorkloadSummary],
+    x_key: str,
+    value,
+) -> Dict[str, Dict]:
+    """engine -> {x -> value(summary)} for series-shaped assertions."""
+    table: Dict[str, Dict] = {}
+    for s in summaries:
+        x = getattr(s, x_key) if hasattr(s, x_key) else s.row()[x_key]
+        table.setdefault(s.engine, {})[x] = value(s)
+    return table

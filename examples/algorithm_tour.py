@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Algorithm tour: a miniature of the paper's experimental evaluation.
+
+Builds the synthetic word database, runs one threshold sweep with every
+engine (including the SQL baseline and the NLB/NSL ablation variants), and
+prints paper-style tables — the same machinery the full benchmarks in
+``benchmarks/`` use.
+
+Run:  python examples/algorithm_tour.py
+"""
+
+from repro.data.synthetic import generate_word_database
+from repro.data.workloads import make_workload
+from repro.eval.harness import ExperimentContext, format_table
+
+ENGINES = [
+    "sort-by-id", "sql", "ta", "nra", "inra", "ita", "sf", "hybrid",
+]
+ABLATIONS = ["sf", "sf-nlb", "sf-nsl", "sql", "sql-nlb"]
+
+
+def main() -> None:
+    collection, words = generate_word_database(
+        num_records=2000, vocabulary_size=1200, seed=1
+    )
+    print(f"database: {len(collection)} words, "
+          f"{collection.vocabulary_size()} grams")
+    context = ExperimentContext(collection)
+    workload = make_workload(
+        collection, bucket=(11, 15), count=20, modifications=0, seed=5
+    )
+
+    print("\n--- all engines at tau = 0.8 (cf. Figures 6/7) ---")
+    rows = [
+        context.run_workload(engine, workload, 0.8).row()
+        for engine in ENGINES
+    ]
+    print(format_table(
+        rows,
+        ["engine", "avg_results", "avg_wall_ms", "pruning_pct",
+         "avg_elems_read", "avg_rand_pages", "avg_io_cost"],
+    ))
+
+    print("\n--- threshold sweep for SF (cf. Figure 6a) ---")
+    rows = [
+        context.run_workload("sf", workload, tau).row()
+        for tau in (0.6, 0.7, 0.8, 0.9)
+    ]
+    print(format_table(
+        rows, ["engine", "tau", "avg_results", "pruning_pct",
+               "avg_elems_read"],
+    ))
+
+    print("\n--- length bounding and skip lists (cf. Figures 8/9) ---")
+    rows = [
+        context.run_workload(spec, workload, 0.9).row()
+        for spec in ABLATIONS
+    ]
+    print(format_table(
+        rows, ["engine", "pruning_pct", "avg_elems_read", "avg_wall_ms"],
+    ))
+
+    print("\nIndex sizes (cf. Figure 5):")
+    report = context.searcher.index.size_report()
+    for name, size in report.items():
+        print(f"  {name:>28}: {size/1024:8.1f} KB")
+    sql_report = context.sql.size_report()
+    for name, size in sql_report.items():
+        print(f"  {'sql ' + name:>28}: {size/1024:8.1f} KB")
+
+
+if __name__ == "__main__":
+    main()

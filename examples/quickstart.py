@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: set similarity selection in five minutes.
+
+Builds a small string collection, runs threshold and top-k queries through
+the high-level API, and shows the seven algorithms agreeing on the answers
+while doing very different amounts of work.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    SetCollection,
+    SetSimilaritySearcher,
+    StringMatcher,
+    algorithm_names,
+)
+
+ADDRESSES = [
+    "12 Main St., Main",
+    "12 Main St., Maine",
+    "12 Main Street, Maine",
+    "17 Elm Avenue, Springfield",
+    "17 Elm Ave, Springfield",
+    "1600 Pennsylvania Avenue",
+    "221B Baker Street, London",
+    "221 Baker St, London",
+    "4 Privet Drive, Little Whinging",
+]
+
+
+def string_matching() -> None:
+    print("=== String matching (the paper's data-cleaning use case) ===")
+    matcher = StringMatcher(ADDRESSES)
+
+    query = "12 Main St., Mane"  # typo for 'Maine'
+    print(f"\nquery: {query!r}, threshold 0.5")
+    for text, score in matcher.match(query, threshold=0.5):
+        print(f"  {score:.3f}  {text}")
+
+    print(f"\ntop-3 for {query!r} (top-k extension):")
+    for text, score in matcher.best_matches(query, k=3):
+        print(f"  {score:.3f}  {text}")
+
+
+def token_sets_and_algorithms() -> None:
+    print("\n=== Token-set API: one index, seven algorithms ===")
+    sets = [
+        ["data", "cleaning", "matters"],
+        ["data", "cleaning"],
+        ["query", "processing"],
+        ["set", "similarity", "query", "processing"],
+        ["data", "quality", "matters"],
+    ]
+    collection = SetCollection.from_token_sets(sets)
+    searcher = SetSimilaritySearcher(collection)
+
+    query = ["data", "cleaning", "quality"]
+    print(f"\nquery tokens: {query}, threshold 0.4")
+    for name in algorithm_names():
+        result = searcher.search(query, threshold=0.4, algorithm=name)
+        answers = ", ".join(
+            f"set{r.set_id}({r.score:.2f})" for r in result.results
+        )
+        print(
+            f"  {name:>10}: [{answers}]  "
+            f"elements read: {result.stats.elements_read:>3}  "
+            f"pruning: {result.pruning_power:5.1%}"
+        )
+
+    print("\nSame answers everywhere; the improved algorithms (inra, ita,")
+    print("sf, hybrid) read far fewer list elements — that is the paper.")
+
+
+def main() -> None:
+    string_matching()
+    token_sets_and_algorithms()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Record linkage: match multi-field records with weighted similarities.
+
+A customer file has names, cities and phone-ish ids; no single field is
+reliable (names get typos, cities get abbreviated, ids get re-issued).
+FieldedMatcher combines per-field IDF similarities with field weights and
+keeps candidate generation index-backed — exactly the record-linkage
+workflow the set-similarity-selection primitive exists for.
+
+Run:  python examples/record_linkage.py
+"""
+
+import random
+
+from repro import FieldedMatcher
+from repro.data.errors import apply_modifications
+from repro.data.synthetic import WordGenerator
+
+WEIGHTS = {"name": 0.6, "city": 0.25, "street": 0.15}
+THRESHOLD = 0.6
+
+
+def build_customer_file(rng):
+    names = WordGenerator(seed=5).vocabulary(150)
+    cities = ["boston", "chicago", "seattle", "austin", "denver", "miami"]
+    streets = WordGenerator(seed=6).vocabulary(40)
+    records = []
+    for i in range(200):
+        records.append(
+            {
+                "name": f"{names[rng.randrange(len(names))]} "
+                        f"{names[rng.randrange(len(names))]}",
+                "city": rng.choice(cities),
+                "street": f"{rng.randint(1, 999)} "
+                          f"{streets[rng.randrange(len(streets))]} st",
+            }
+        )
+    return records
+
+
+def corrupt(record, rng):
+    """A re-keyed version of the record, as a sloppy operator would type it."""
+    out = dict(record)
+    out["name"] = apply_modifications(record["name"], rng.randint(1, 2), rng)
+    if rng.random() < 0.4:
+        out["city"] = apply_modifications(record["city"], 1, rng)
+    if rng.random() < 0.3:
+        out["street"] = ""  # field sometimes left blank
+    return out
+
+
+def main() -> None:
+    rng = random.Random(12)
+    records = build_customer_file(rng)
+    matcher = FieldedMatcher(records, WEIGHTS)
+    print(
+        f"customer file: {len(records)} records; "
+        f"weights {matcher.weights}"
+    )
+
+    hits = 0
+    trials = 40
+    for _ in range(trials):
+        true_id = rng.randrange(len(records))
+        query = corrupt(records[true_id], rng)
+        matches = matcher.match(query, THRESHOLD)
+        found = matches and matches[0].record_id == true_id
+        hits += bool(found)
+        if _ < 3:
+            print(f"\nincoming: {query}")
+            if not matches:
+                print("   no link above threshold")
+            for m in matches[:2]:
+                fields = ", ".join(
+                    f"{f}={s:.2f}" for f, s in m.per_field.items()
+                )
+                marker = "<- true" if m.record_id == true_id else ""
+                print(
+                    f"   {m.score:.3f} record {m.record_id} "
+                    f"({fields}) {marker}"
+                )
+
+    print(
+        f"\nlinked {hits}/{trials} corrupted records back to their source "
+        f"at tau={THRESHOLD}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,306 @@
+"""Shared infrastructure for the selection algorithms.
+
+Every algorithm implements the same contract: given an
+:class:`~repro.storage.invlist.InvertedIndex` and a
+:class:`~repro.core.query.PreparedQuery`, return every set id whose IDF
+similarity with the query is at least ``tau``, together with its exact score
+and the I/O ledger accumulated while finding it.  That uniform contract is
+what lets the benchmark harness swap algorithms freely and what lets the
+tests check every algorithm against the brute-force reference.
+
+:class:`QueryLists` resolves a prepared query against an index: it opens one
+weight-order cursor per query token that actually has postings, keeping the
+squared idfs aligned with the open cursors (tokens absent from the corpus
+have empty lists and can never contribute to a score, but they still count
+toward ``len(q)`` — the prepared query already handled that).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import UnknownAlgorithmError
+from ..core.properties import effective_threshold
+from ..core.query import PreparedQuery
+from ..storage.invlist import InvertedIndex, WeightOrderCursor
+from ..storage.pages import IOStats
+
+__all__ = [
+    "SearchResult",
+    "AlgorithmResult",
+    "QueryLists",
+    "SelectionAlgorithm",
+    "register_algorithm",
+    "algorithm_names",
+    "make_algorithm",
+]
+
+
+class SearchResult:
+    """One answer: a set id and its exact IDF similarity."""
+
+    __slots__ = ("set_id", "score")
+
+    def __init__(self, set_id: int, score: float) -> None:
+        self.set_id = set_id
+        self.score = score
+
+    def __iter__(self):
+        return iter((self.set_id, self.score))
+
+    def __eq__(self, other) -> bool:
+        return (self.set_id, self.score) == (other.set_id, other.score)
+
+    def __repr__(self) -> str:
+        return f"SearchResult(id={self.set_id}, score={self.score:.4f})"
+
+
+class AlgorithmResult:
+    """Answers plus execution telemetry.
+
+    ``elements_total`` is the combined length of the query's inverted lists
+    — the denominator of the paper's *pruning power* metric
+    (``1 - elements_read / elements_total``).
+    """
+
+    __slots__ = (
+        "algorithm",
+        "results",
+        "stats",
+        "elements_total",
+        "wall_seconds",
+        "peak_candidates",
+    )
+
+    def __init__(
+        self,
+        algorithm: str,
+        results: List[SearchResult],
+        stats: IOStats,
+        elements_total: int,
+        wall_seconds: float = 0.0,
+        peak_candidates: int = 0,
+    ) -> None:
+        self.algorithm = algorithm
+        self.results = sorted(results, key=lambda r: (-r.score, r.set_id))
+        self.stats = stats
+        self.elements_total = elements_total
+        self.wall_seconds = wall_seconds
+        self.peak_candidates = peak_candidates
+
+    @property
+    def pruning_power(self) -> float:
+        """Fraction of the query's list elements never read (paper, §VIII-C)."""
+        if self.elements_total == 0:
+            return 1.0
+        read = min(self.stats.elements_read, self.elements_total)
+        return 1.0 - read / self.elements_total
+
+    def ids(self) -> List[int]:
+        return [r.set_id for r in self.results]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __repr__(self) -> str:
+        return (
+            f"AlgorithmResult({self.algorithm}, answers={len(self.results)}, "
+            f"pruning={self.pruning_power:.3f})"
+        )
+
+
+class QueryLists:
+    """A prepared query resolved against an index: open cursors + weights.
+
+    Attributes are aligned: ``cursors[i]`` is the weight-order cursor for the
+    token with squared idf ``idf_squared[i]``; tokens whose lists are empty
+    are dropped (they contribute nothing to any score).  Order follows the
+    prepared query: decreasing idf.
+    """
+
+    __slots__ = (
+        "query",
+        "cursors",
+        "idf_squared",
+        "tokens",
+        "elements_total",
+        "stats",
+    )
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        query: PreparedQuery,
+        stats: IOStats,
+        use_skip_lists: bool = True,
+        order: str = "weight",
+    ) -> None:
+        self.query = query
+        self.stats = stats
+        self.cursors: List[WeightOrderCursor] = []
+        self.idf_squared: List[float] = []
+        self.tokens: List[str] = []
+        total = 0
+        for token, idf_sq in zip(query.tokens, query.idf_squared):
+            if order == "weight":
+                cursor = index.cursor(token, stats, use_skip_list=use_skip_lists)
+            else:
+                cursor = index.id_cursor(token, stats)
+            if cursor is None or len(cursor) == 0:
+                continue
+            self.cursors.append(cursor)
+            self.idf_squared.append(idf_sq)
+            self.tokens.append(token)
+            total += len(cursor)
+        self.elements_total = total
+
+    def __len__(self) -> int:
+        return len(self.cursors)
+
+    def contribution(self, list_index: int, set_length: float) -> float:
+        """``w_i(s)`` for the i-th open list and a set of the given length."""
+        denom = set_length * self.query.length
+        if denom <= 0.0:
+            return 0.0
+        return self.idf_squared[list_index] / denom
+
+    def total_idf_squared(self) -> float:
+        return sum(self.idf_squared)
+
+
+class SelectionAlgorithm:
+    """Base class: configuration knobs + the timed ``search`` entry point.
+
+    Parameters
+    ----------
+    index:
+        The inverted index to search.
+    use_length_bounds:
+        Apply Theorem 1 (seek lists to ``tau*len(q)``, stop at
+        ``len(q)/tau``).  Disabled for the paper's *NLB* ablation (Fig. 8).
+    use_skip_lists:
+        Seek with the per-list skip index instead of scan-and-discard.
+        Disabled for the *NSL* ablation (Fig. 9).  Irrelevant when
+        ``use_length_bounds`` is False (there is nothing to seek to).
+    """
+
+    name = "abstract"
+    list_order = "weight"
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        use_length_bounds: bool = True,
+        use_skip_lists: bool = True,
+        buffer_pool_pages: Optional[int] = None,
+    ) -> None:
+        self.index = index
+        self.use_length_bounds = use_length_bounds
+        self.use_skip_lists = use_skip_lists
+        self.buffer_pool_pages = buffer_pool_pages
+        self._length_floor = 0.0
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: PreparedQuery,
+        tau: float,
+        length_floor: float = 0.0,
+    ) -> AlgorithmResult:
+        """Run the selection and time it.
+
+        Internally the comparison threshold is ``tau - SCORE_EPSILON`` (see
+        :data:`repro.core.properties.SCORE_EPSILON`), consistently across
+        every algorithm and the brute-force reference.
+
+        ``length_floor`` restricts answers to sets with normalized length
+        at least the floor — an *additional* constraint intersected with
+        the Theorem 1 window.  The self-join uses it to visit only
+        partners at least as long as the probe, halving its reads; plain
+        selections leave it at 0.
+        """
+        tau = effective_threshold(tau)
+        self._length_floor = max(0.0, length_floor)
+        if self.buffer_pool_pages:
+            from ..storage.buffer import BufferedIOStats
+
+            stats: IOStats = BufferedIOStats(self.buffer_pool_pages)
+        else:
+            stats = IOStats()
+        started = time.perf_counter()
+        lists = QueryLists(
+            self.index,
+            query,
+            stats,
+            use_skip_lists=self.use_skip_lists,
+            order=self.list_order,
+        )
+        results, peak = self._run(lists, tau)
+        if self._length_floor > 0.0 and results:
+            # Algorithms without a window (classic NRA/TA, sort-by-id) do
+            # not enforce the floor while scanning; filter uniformly here
+            # so the contract holds for every algorithm.
+            lengths = self.index.collection.lengths()
+            floor = self._length_floor
+            results = [
+                r for r in results if lengths[r.set_id] >= floor
+            ]
+        elapsed = time.perf_counter() - started
+        return AlgorithmResult(
+            algorithm=self.name,
+            results=results,
+            stats=stats,
+            elements_total=lists.elements_total,
+            wall_seconds=elapsed,
+            peak_candidates=peak,
+        )
+
+    def _run(
+        self, lists: QueryLists, tau: float
+    ) -> Tuple[List[SearchResult], int]:
+        """Algorithm body; returns (answers, peak candidate count)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _bounds(self, lists: QueryLists, tau: float) -> Tuple[float, float]:
+        """The active length window: Theorem 1 if enabled, intersected with
+        any caller-imposed length floor."""
+        if self.use_length_bounds:
+            lo, hi = lists.query.bounds(tau)
+        else:
+            lo, hi = 0.0, float("inf")
+        return max(lo, self._length_floor), hi
+
+    def __repr__(self) -> str:
+        flags = []
+        if not self.use_length_bounds:
+            flags.append("NLB")
+        if not self.use_skip_lists:
+            flags.append("NSL")
+        suffix = f" [{' '.join(flags)}]" if flags else ""
+        return f"{type(self).__name__}{suffix}"
+
+
+_REGISTRY: Dict[str, type] = {}
+
+
+def register_algorithm(cls: type) -> type:
+    """Class decorator adding an algorithm to the by-name registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def algorithm_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def make_algorithm(
+    name: str, index: InvertedIndex, **kwargs
+) -> SelectionAlgorithm:
+    """Instantiate a registered algorithm by name (see :func:`algorithm_names`)."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise UnknownAlgorithmError(name, list(_REGISTRY)) from None
+    return cls(index, **kwargs)

@@ -1,0 +1,217 @@
+"""iNRA — the Improved NRA algorithm (Section V, Algorithm 2).
+
+Breadth-first (round-robin) like NRA, plus every Section IV property:
+
+* **Length Boundedness** — each list is entered at the first posting with
+  ``len >= tau*len(q)`` (via skip list when enabled) and marked *complete*
+  as soon as its frontier passes ``len(q)/tau``;
+* **Magnitude Boundedness** — a newly popped set is admitted to the
+  candidate set only if its best-case score ``Σ_j w_j(s)`` over still
+  plausible lists reaches ``tau``;
+* the **frontier threshold** ``F = Σ_i w_i(f_i)`` — once ``F < tau`` no
+  unseen set can qualify, so admission stops entirely and only existing
+  candidates are completed;
+* **Order Preservation** — a candidate not yet seen in a list whose
+  frontier has passed its ``(len, id)`` key is provably absent from that
+  list, so the list is ruled out of its upper bound;
+* **lazy candidate scans** — the candidate set is scanned only when
+  ``F < tau`` (it cannot be emptied before that), and a pruning scan stops
+  at the first still-viable candidate (``lazy_scans=True``, the default).
+
+Correctness matches NRA's: upper bounds only ever shrink for valid reasons,
+and the search ends when the candidate set empties or every list completes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..storage.invlist import InvertedIndex
+from .base import (
+    QueryLists,
+    SearchResult,
+    SelectionAlgorithm,
+    register_algorithm,
+)
+from .candidates import Candidate, HashCandidateSet
+
+
+@register_algorithm
+class INRA(SelectionAlgorithm):
+    """Improved NRA with the Section IV pruning properties."""
+
+    name = "inra"
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        lazy_scans: bool = True,
+        **kwargs,
+    ) -> None:
+        super().__init__(index, **kwargs)
+        self.lazy_scans = lazy_scans
+
+    # ------------------------------------------------------------------
+    def _run(self, lists: QueryLists, tau: float) -> Tuple[List[SearchResult], int]:
+        n = len(lists)
+        if n == 0:
+            return [], 0
+        lo, hi = self._bounds(lists, tau)
+        all_mask = (1 << n) - 1
+        candidates = HashCandidateSet()
+        results: List[SearchResult] = []
+
+        cursors = lists.cursors
+        if self.use_length_bounds:
+            for cursor in cursors:
+                cursor.seek_length_ge(lo)
+
+        complete = [False] * n
+        # (length, id) key of the last element popped per list; None before
+        # the first pop.  Used for order-preservation absence deduction.
+        frontier_key: List[Optional[Tuple[float, int]]] = [None] * n
+        frontier_contrib: List[float] = [0.0] * n
+        for i, cursor in enumerate(cursors):
+            if cursor.exhausted():
+                complete[i] = True
+            else:
+                frontier_contrib[i] = lists.contribution(i, cursor.peek()[0])
+        f_threshold = float("inf")
+
+        while True:
+            for i, cursor in enumerate(cursors):
+                if complete[i]:
+                    continue
+                if cursor.exhausted():
+                    complete[i] = True
+                    frontier_contrib[i] = 0.0
+                    continue
+                if cursor.peek()[0] > hi:
+                    # Theorem 1: nothing at or beyond this length can answer;
+                    # stop without consuming the out-of-window posting.
+                    complete[i] = True
+                    frontier_contrib[i] = 0.0
+                    continue
+                length, set_id = cursor.next()
+                frontier_key[i] = (length, set_id)
+                frontier_contrib[i] = lists.contribution(i, length)
+                contribution = lists.contribution(i, length)
+                cand = candidates.get(set_id)
+                if cand is None:
+                    if f_threshold < tau:
+                        continue  # no unseen set can qualify any more
+                    if self._best_case(
+                        lists, i, length, set_id, complete, frontier_key
+                    ) < tau:
+                        continue  # magnitude boundedness: never viable
+                    cand = candidates.add(Candidate(set_id, length))
+                cand.see(i, contribution)
+                if cursor.exhausted():
+                    complete[i] = True
+                    frontier_contrib[i] = 0.0
+
+            f_threshold = sum(
+                frontier_contrib[i] for i in range(n) if not complete[i]
+            )
+            all_done = all(complete)
+
+            if all_done:
+                # Every membership is resolved: lower bounds are exact.
+                for cand in candidates.scan():
+                    if cand.lower >= tau:
+                        results.append(SearchResult(cand.set_id, cand.lower))
+                candidates.clear()
+                break
+
+            if self.lazy_scans and f_threshold >= tau:
+                # The candidate set cannot empty while F >= tau: skip the scan.
+                continue
+
+            self._prune_scan(
+                lists, tau, candidates, results, complete, frontier_key, all_mask
+            )
+            if len(candidates) == 0 and f_threshold < tau:
+                break
+
+        return results, candidates.peak
+
+    # ------------------------------------------------------------------
+    def _best_case(
+        self,
+        lists: QueryLists,
+        from_list: int,
+        length: float,
+        set_id: int,
+        complete: List[bool],
+        frontier_key: List[Optional[Tuple[float, int]]],
+    ) -> float:
+        """Property 2 admission bound for a set first seen now in ``from_list``.
+
+        Sums the set's own potential contribution over every list that could
+        still contain it: the discovering list, plus lists that are not
+        complete and whose frontier has not yet passed ``(length, set_id)``.
+        Stale (previous-round) frontiers only make this conservative.
+        """
+        key = (length, set_id)
+        total_idf_sq = lists.idf_squared[from_list]
+        for j in range(len(lists)):
+            if j == from_list or complete[j]:
+                continue
+            fk = frontier_key[j]
+            if fk is not None and fk >= key:
+                continue  # frontier passed without seeing it: absent
+            total_idf_sq += lists.idf_squared[j]
+        # Theorem 1 case 2 cap: matched tokens are a subset of s, so their
+        # squared idfs sum to at most len(s)².
+        total_idf_sq = min(total_idf_sq, length * length)
+        denom = length * lists.query.length
+        return total_idf_sq / denom if denom > 0.0 else 0.0
+
+    def _prune_scan(
+        self,
+        lists: QueryLists,
+        tau: float,
+        candidates: HashCandidateSet,
+        results: List[SearchResult],
+        complete: List[bool],
+        frontier_key: List[Optional[Tuple[float, int]]],
+        all_mask: int,
+    ) -> None:
+        """One pass over the candidate set: resolve, report, prune.
+
+        With ``lazy_scans`` the pass stops at the first candidate that is
+        still viable and unresolved (the conservative early termination of
+        Section V) — later candidates would survive anyway is not guaranteed,
+        but keeping them costs only memory, never correctness.
+        """
+        n = len(lists)
+        for cand in candidates.scan():
+            lists.stats.charge_candidate_scan()
+            key = (cand.length, cand.set_id)
+            for i in range(n):
+                bit = 1 << i
+                if cand.seen_mask & bit or cand.dead_mask & bit:
+                    continue
+                fk = frontier_key[i]
+                if complete[i] or (fk is not None and fk >= key):
+                    cand.rule_out(i)
+            if cand.resolved(all_mask):
+                if cand.lower >= tau:
+                    results.append(SearchResult(cand.set_id, cand.lower))
+                candidates.remove(cand.set_id)
+                continue
+            upper = cand.lower
+            for i in range(n):
+                bit = 1 << i
+                if not (cand.seen_mask | cand.dead_mask) & bit:
+                    upper += lists.contribution(i, cand.length)
+            if lists.query.length > 0.0:
+                # Theorem 1 case 2: I(q, s) <= len(s)/len(q) — but never
+                # below the known lower bound (float-order protection).
+                upper = max(
+                    min(upper, cand.length / lists.query.length), cand.lower
+                )
+            if upper < tau:
+                candidates.remove(cand.set_id)
+            elif self.lazy_scans:
+                break

@@ -1,0 +1,125 @@
+"""iTA — TA improved with the Section IV semantic properties.
+
+The paper states the iTA modifications are "straightforward" analogues of
+iNRA's (end of Section V).  Concretely:
+
+* **Length Boundedness** — every list is entered at ``len >= tau*len(q)``
+  (skip list seek) and marked complete once its frontier passes
+  ``len(q)/tau``;
+* **Magnitude Boundedness** — a newly popped id is fully probed only if its
+  best-case score over plausible lists reaches ``tau``; hopeless ids are
+  remembered but never charged ``n-1`` random I/Os;
+* **Order Preservation** — when completing a score, lists whose frontier
+  already passed the id's ``(len, id)`` key (or that completed/exhausted)
+  are known absences and are not probed, cutting random I/Os further.
+
+As in TA, there is no candidate set: every considered id is resolved on the
+spot, and the search stops when the frontier threshold over the still-active
+lists drops below ``tau``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from .base import (
+    QueryLists,
+    SearchResult,
+    SelectionAlgorithm,
+    register_algorithm,
+)
+
+
+@register_algorithm
+class ITA(SelectionAlgorithm):
+    """Improved TA: length window, magnitude pre-check, probe avoidance."""
+
+    name = "ita"
+
+    def _run(self, lists: QueryLists, tau: float) -> Tuple[List[SearchResult], int]:
+        n = len(lists)
+        if n == 0:
+            return [], 0
+        lo, hi = self._bounds(lists, tau)
+        results: List[SearchResult] = []
+        seen: Set[int] = set()
+        cursors = lists.cursors
+
+        if self.use_length_bounds:
+            for cursor in cursors:
+                cursor.seek_length_ge(lo)
+
+        complete = [False] * n
+        frontier_key: List[Optional[Tuple[float, int]]] = [None] * n
+        frontier_contrib = [0.0] * n
+        for i, cursor in enumerate(cursors):
+            if cursor.exhausted():
+                complete[i] = True
+
+        while True:
+            for i, cursor in enumerate(cursors):
+                if complete[i]:
+                    continue
+                if cursor.exhausted():
+                    complete[i] = True
+                    frontier_contrib[i] = 0.0
+                    continue
+                if cursor.peek()[0] > hi:
+                    # Past the Theorem 1 window: stop without consuming.
+                    complete[i] = True
+                    frontier_contrib[i] = 0.0
+                    continue
+                length, set_id = cursor.next()
+                frontier_key[i] = (length, set_id)
+                frontier_contrib[i] = lists.contribution(i, length)
+                if cursor.exhausted():
+                    complete[i] = True
+                    frontier_contrib[i] = 0.0
+                if set_id in seen:
+                    continue
+                seen.add(set_id)
+                key = (length, set_id)
+                # Lists that could still contain this set: frontier not yet
+                # past its key.  Everything else is a known absence.
+                plausible = [
+                    j
+                    for j in range(n)
+                    if j != i
+                    and not complete[j]
+                    and (frontier_key[j] is None or frontier_key[j] < key)
+                ]
+                best = self._magnitude_bound(lists, i, length, plausible)
+                if best < tau:
+                    continue  # provably hopeless: skip all probes
+                score = lists.contribution(i, length)
+                for j in plausible:
+                    found = self.index.probe(
+                        lists.tokens[j], set_id, lists.stats
+                    )
+                    if found is not None:
+                        score += lists.contribution(j, length)
+                if score >= tau:
+                    results.append(SearchResult(set_id, score))
+
+            if all(complete):
+                break
+            f_threshold = sum(
+                frontier_contrib[j] for j in range(n) if not complete[j]
+            )
+            if f_threshold < tau:
+                break
+        return results, len(seen)
+
+    @staticmethod
+    def _magnitude_bound(
+        lists: QueryLists, from_list: int, length: float, plausible: List[int]
+    ) -> float:
+        """Property 2 bound, additionally capped by ``len(s)/len(q)``
+        (Theorem 1 case 2: the matched tokens are a subset of ``s``, so
+        their squared idfs sum to at most ``len(s)²``)."""
+        total_idf_sq = lists.idf_squared[from_list] + sum(
+            lists.idf_squared[j] for j in plausible
+        )
+        total_idf_sq = min(total_idf_sq, length * length)
+        denom = length * lists.query.length
+        return total_idf_sq / denom if denom > 0.0 else 0.0

@@ -1,0 +1,261 @@
+"""Command-line interface: build, persist, query and benchmark indexes.
+
+Usage (also via ``python -m repro``):
+
+    repro index  --input strings.txt --output ./idx --q 3
+    repro query  --index ./idx --text "Main Stret" --threshold 0.7
+    repro topk   --index ./idx --text "Main Stret" -k 5
+    repro info   --index ./idx
+    repro bench  --records 2000 --queries 15 --tau 0.8
+
+``index`` reads one string per line and builds a q-gram searcher; ``query``
+and ``topk`` print tab-separated ``score<TAB>string`` rows, best first.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, List, Optional
+
+from . import __version__
+from .algorithms.base import algorithm_names
+from .core.errors import ReproError
+from .core.search import SetSimilaritySearcher, StringMatcher
+from .core.tokenize import QGramTokenizer
+from .storage.persist import load_searcher, save_searcher
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Set similarity selection queries (ICDE 2008 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_index = sub.add_parser("index", help="build and persist an index")
+    p_index.add_argument("--input", required=True, help="one string per line")
+    p_index.add_argument("--output", required=True, help="index directory")
+    p_index.add_argument("--q", type=int, default=3, help="q-gram size")
+    p_index.add_argument(
+        "--lean",
+        action="store_true",
+        help="skip the id-lists and hash index (SF/iNRA/Hybrid only)",
+    )
+
+    p_query = sub.add_parser("query", help="threshold selection")
+    p_query.add_argument("--index", required=True)
+    p_query.add_argument("--text", required=True)
+    p_query.add_argument("--threshold", type=float, default=0.7)
+    p_query.add_argument(
+        "--algorithm", default="sf", choices=algorithm_names()
+    )
+    p_query.add_argument(
+        "--stats", action="store_true", help="print I/O telemetry to stderr"
+    )
+
+    p_topk = sub.add_parser("topk", help="top-k most similar strings")
+    p_topk.add_argument("--index", required=True)
+    p_topk.add_argument("--text", required=True)
+    p_topk.add_argument("-k", type=int, default=5)
+
+    p_info = sub.add_parser("info", help="describe a persisted index")
+    p_info.add_argument("--index", required=True)
+
+    p_bench = sub.add_parser(
+        "bench", help="mini benchmark on a synthetic corpus"
+    )
+    p_bench.add_argument("--records", type=int, default=2000)
+    p_bench.add_argument("--queries", type=int, default=15)
+    p_bench.add_argument("--tau", type=float, default=0.8)
+
+    p_dedupe = sub.add_parser(
+        "dedupe", help="group near-duplicate lines of a file"
+    )
+    p_dedupe.add_argument("--input", required=True, help="one string per line")
+    p_dedupe.add_argument("--threshold", type=float, default=0.7)
+    p_dedupe.add_argument("--q", type=int, default=3)
+    p_dedupe.add_argument(
+        "--min-size", type=int, default=2,
+        help="smallest duplicate group to report",
+    )
+
+    return parser
+
+
+def _write_cli_meta(index_dir: str, q: int) -> None:
+    import json
+    from pathlib import Path
+
+    (Path(index_dir) / "cli.json").write_text(json.dumps({"q": q}))
+
+
+def _tokenizer_for(index_dir: str):
+    """The tokenizer the index was built with (from the CLI meta file)."""
+    import json
+    from pathlib import Path
+
+    meta = Path(index_dir) / "cli.json"
+    q = 3
+    if meta.exists():
+        q = int(json.loads(meta.read_text()).get("q", 3))
+    return QGramTokenizer(q=q)
+
+
+def cmd_index(args, out: IO[str]) -> int:
+    with open(args.input, encoding="utf-8") as fh:
+        strings = [line.rstrip("\n") for line in fh if line.strip()]
+    if not strings:
+        print("error: input file holds no strings", file=sys.stderr)
+        return 2
+    matcher = StringMatcher(
+        strings,
+        tokenizer=QGramTokenizer(q=args.q),
+        with_id_lists=not args.lean,
+        with_hash_index=not args.lean,
+    )
+    manifest = save_searcher(matcher.searcher, args.output)
+    _write_cli_meta(args.output, args.q)
+    print(
+        f"indexed {manifest['num_sets']} strings "
+        f"({manifest['num_tokens']} tokens, "
+        f"{manifest['num_postings']} postings) -> {args.output}",
+        file=out,
+    )
+    return 0
+
+
+def cmd_query(args, out: IO[str]) -> int:
+    searcher = load_searcher(args.index)
+    tokenizer = _tokenizer_for(args.index)
+    tokens = tokenizer.tokens(args.text)
+    if not tokens:
+        print("error: query tokenizes to nothing", file=sys.stderr)
+        return 2
+    result = searcher.search(
+        tokens, args.threshold, algorithm=args.algorithm
+    )
+    for r in result.results:
+        print(f"{r.score:.4f}\t{searcher.collection.payload(r.set_id)}", file=out)
+    if args.stats:
+        print(
+            f"elements_read={result.stats.elements_read} "
+            f"of {result.elements_total} "
+            f"(pruning {result.pruning_power:.1%}), "
+            f"random_pages={result.stats.random_pages}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_topk(args, out: IO[str]) -> int:
+    searcher = load_searcher(args.index)
+    tokens = _tokenizer_for(args.index).tokens(args.text)
+    if not tokens:
+        print("error: query tokenizes to nothing", file=sys.stderr)
+        return 2
+    result = searcher.top_k(tokens, args.k)
+    for r in result.results:
+        print(f"{r.score:.4f}\t{searcher.collection.payload(r.set_id)}", file=out)
+    return 0
+
+
+def cmd_info(args, out: IO[str]) -> int:
+    searcher = load_searcher(args.index)
+    from .core.collection import collection_summary
+
+    summary = collection_summary(searcher.collection)
+    sizes = searcher.index.size_report()
+    print(f"sets:        {int(summary['num_sets'])}", file=out)
+    print(f"vocabulary:  {int(summary['vocabulary'])} tokens", file=out)
+    print(f"mean size:   {summary['mean_set_size']:.1f} tokens/set", file=out)
+    for name, size in sizes.items():
+        print(f"{name:>28}: {size} bytes", file=out)
+    return 0
+
+
+def cmd_bench(args, out: IO[str]) -> int:
+    from .data.synthetic import generate_word_database
+    from .data.workloads import make_workload
+    from .eval.harness import ExperimentContext, format_table
+
+    collection, _words = generate_word_database(
+        num_records=args.records,
+        vocabulary_size=max(args.records // 2, 200),
+        seed=2008,
+    )
+    context = ExperimentContext(collection)
+    workload = make_workload(
+        collection, (11, 15), args.queries, modifications=0, seed=77
+    )
+    rows = [
+        context.run_workload(engine, workload, args.tau).row()
+        for engine in (
+            "sort-by-id", "sql", "ta", "nra", "inra", "ita", "sf", "hybrid",
+        )
+    ]
+    print(
+        format_table(
+            rows,
+            ["engine", "avg_results", "avg_wall_ms", "pruning_pct",
+             "avg_elems_read", "avg_io_cost"],
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_dedupe(args, out: IO[str]) -> int:
+    from .core.join import similarity_clusters
+    from .data.loaders import load_lines
+
+    collection = load_lines(args.input, QGramTokenizer(q=args.q))
+    if len(collection) == 0:
+        print("error: input file holds no strings", file=sys.stderr)
+        return 2
+    searcher = SetSimilaritySearcher(
+        collection, with_id_lists=False, with_hash_index=False
+    )
+    clusters = similarity_clusters(
+        searcher, args.threshold, min_size=args.min_size
+    )
+    for number, cluster in enumerate(clusters, start=1):
+        print(f"group {number} ({len(cluster)} records):", file=out)
+        for set_id in cluster:
+            print(f"  {collection.payload(set_id)}", file=out)
+    print(
+        f"{len(clusters)} duplicate groups among {len(collection)} records",
+        file=out,
+    )
+    return 0
+
+
+_COMMANDS = {
+    "index": cmd_index,
+    "query": cmd_query,
+    "topk": cmd_topk,
+    "info": cmd_info,
+    "bench": cmd_bench,
+    "dedupe": cmd_dedupe,
+}
+
+
+def main(argv: Optional[List[str]] = None, out: IO[str] = sys.stdout) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

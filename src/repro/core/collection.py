@@ -1,0 +1,208 @@
+"""SetCollection: the database of token sets the algorithms search over.
+
+A collection assigns every set a dense integer id (0..N-1), retains both the
+set view (distinct tokens, used by IDF) and the multiset counts (used by
+TF/IDF and BM25), and computes the corpus :class:`~repro.core.weights.IdfStatistics`
+and per-set normalized lengths once, on demand.
+
+The paper's experiments store one *word* per set (each word decomposed into
+3-grams) with an identifier encoding its location in the base table; here the
+``payload`` slot carries any such source metadata.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .errors import ConfigurationError, IndexNotBuiltError
+from .tokenize import Tokenizer
+from .weights import IdfStatistics, tf_counts
+
+
+class SetRecord:
+    """One database entry: id, distinct-token set, multiset counts, payload."""
+
+    __slots__ = ("set_id", "tokens", "counts", "payload")
+
+    def __init__(
+        self,
+        set_id: int,
+        tokens: frozenset,
+        counts: Dict[str, int],
+        payload: Any = None,
+    ) -> None:
+        self.set_id = set_id
+        self.tokens = tokens
+        self.counts = counts
+        self.payload = payload
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __repr__(self) -> str:
+        return f"SetRecord(id={self.set_id}, size={len(self.tokens)})"
+
+
+class SetCollection:
+    """An append-then-freeze collection of token sets.
+
+    Typical construction paths:
+
+    * :meth:`from_strings` — tokenize raw strings with a
+      :class:`~repro.core.tokenize.Tokenizer`;
+    * :meth:`from_token_sets` — supply pre-tokenized iterables;
+    * incremental: create empty, call :meth:`add` repeatedly, then
+      :meth:`freeze`.
+
+    Statistics (:attr:`stats`) and normalized lengths (:meth:`length`) are
+    computed lazily at first use after freezing; adding after freezing raises.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[SetRecord] = []
+        self._frozen = False
+        self._stats: Optional[IdfStatistics] = None
+        self._lengths: Optional[List[float]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_strings(
+        cls,
+        strings: Iterable[str],
+        tokenizer: Tokenizer,
+        payload_fn: Optional[Callable[[int, str], Any]] = None,
+    ) -> "SetCollection":
+        """Build from raw strings; payload defaults to the source string."""
+        coll = cls()
+        for i, text in enumerate(strings):
+            tokens = tokenizer.tokens(text)
+            payload = payload_fn(i, text) if payload_fn else text
+            coll.add(tokens, payload=payload)
+        coll.freeze()
+        return coll
+
+    @classmethod
+    def from_token_sets(
+        cls,
+        token_sets: Iterable[Iterable[str]],
+        payloads: Optional[Sequence[Any]] = None,
+    ) -> "SetCollection":
+        coll = cls()
+        for i, toks in enumerate(token_sets):
+            payload = payloads[i] if payloads is not None else None
+            coll.add(list(toks), payload=payload)
+        coll.freeze()
+        return coll
+
+    def add(self, tokens: Sequence[str], payload: Any = None) -> int:
+        """Append one set; returns its id. Empty token lists are allowed
+        (they simply never match anything)."""
+        if self._frozen:
+            raise ConfigurationError("collection is frozen; cannot add")
+        counts = tf_counts(list(tokens))
+        rec = SetRecord(
+            set_id=len(self._records),
+            tokens=frozenset(counts),
+            counts=counts,
+            payload=payload,
+        )
+        self._records.append(rec)
+        return rec.set_id
+
+    def freeze(self) -> "SetCollection":
+        self._frozen = True
+        return self
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[SetRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, set_id: int) -> SetRecord:
+        return self._records[set_id]
+
+    def record(self, set_id: int) -> SetRecord:
+        return self._records[set_id]
+
+    def payload(self, set_id: int) -> Any:
+        return self._records[set_id].payload
+
+    def token_sets(self) -> Iterator[frozenset]:
+        for rec in self._records:
+            yield rec.tokens
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def _require_frozen(self) -> None:
+        if not self._frozen:
+            raise IndexNotBuiltError(
+                "collection must be frozen before computing statistics"
+            )
+
+    @property
+    def stats(self) -> IdfStatistics:
+        """Corpus idf statistics (computed once, cached)."""
+        self._require_frozen()
+        if self._stats is None:
+            self._stats = IdfStatistics.from_sets(
+                rec.tokens for rec in self._records
+            )
+        return self._stats
+
+    def length(self, set_id: int) -> float:
+        """Normalized length of the set with the given id (cached)."""
+        return self.lengths()[set_id]
+
+    def lengths(self) -> List[float]:
+        """Normalized lengths of every set, indexed by set id."""
+        self._require_frozen()
+        if self._lengths is None:
+            stats = self.stats
+            self._lengths = [
+                stats.length(rec.tokens) for rec in self._records
+            ]
+        return self._lengths
+
+    def vocabulary_size(self) -> int:
+        return len(self.stats)
+
+    def __repr__(self) -> str:
+        state = "frozen" if self._frozen else "building"
+        return f"SetCollection(n={len(self._records)}, {state})"
+
+
+def collection_summary(coll: SetCollection) -> Dict[str, float]:
+    """Descriptive statistics used by benchmarks and examples."""
+    sizes = [len(rec) for rec in coll]
+    lengths = coll.lengths() if len(coll) else []
+    def _mean(xs: Sequence[float]) -> float:
+        return sum(xs) / len(xs) if xs else 0.0
+    return {
+        "num_sets": float(len(coll)),
+        "vocabulary": float(coll.vocabulary_size()) if len(coll) else 0.0,
+        "mean_set_size": _mean(sizes),
+        "max_set_size": float(max(sizes)) if sizes else 0.0,
+        "mean_length": _mean(lengths),
+        "max_length": max(lengths) if lengths else 0.0,
+    }

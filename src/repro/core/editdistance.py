@@ -1,0 +1,143 @@
+"""Edit-distance selection via q-gram count filtering (related-work baseline).
+
+The paper's Related Work section surveys edit-distance indexes ([6], [15],
+[19]); the classic bridge between q-grams and edit distance — used by the
+Gravano et al. approach the SQL baseline descends from — is the *count
+filter*: one edit operation destroys at most ``q`` of a string's (padded)
+q-grams, so
+
+    ed(x, y) <= k  =>  |G(x) ∩ G(y)|  >=  max(|G(x)|, |G(y)|) - k·q
+
+(with multiset gram semantics; the set-semantics bound used here is weaker
+but still complete).  This module implements:
+
+* :func:`levenshtein` — the textbook DP distance (with a band optimization
+  for the common small-k case),
+* :class:`EditDistanceSearcher` — filter-and-verify selection: candidates
+  from the q-gram inverted index via the count filter, finished with exact
+  (banded) distance computation.
+
+It is deliberately simple — its role is the paper's framing that TF/IDF-
+style weighted measures and edit distance address different notions of
+similarity, and a downstream user frequently wants both.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.tokenize import QGramTokenizer
+from ..storage.pages import IOStats
+
+
+def levenshtein(a: str, b: str, max_distance: Optional[int] = None) -> int:
+    """Edit distance between two strings.
+
+    With ``max_distance`` set, computation is banded and returns
+    ``max_distance + 1`` as soon as the true distance provably exceeds the
+    bound — the standard verification fast path.
+    """
+    if a == b:
+        return 0
+    if len(a) > len(b):
+        a, b = b, a
+    if max_distance is not None and len(b) - len(a) > max_distance:
+        return max_distance + 1
+    previous = list(range(len(a) + 1))
+    for i, cb in enumerate(b, start=1):
+        current = [i]
+        row_min = i
+        for j, ca in enumerate(a, start=1):
+            cost = (
+                previous[j] + 1,
+                current[j - 1] + 1,
+                previous[j - 1] + (ca != cb),
+            )
+            best = min(cost)
+            current.append(best)
+            if best < row_min:
+                row_min = best
+        if max_distance is not None and row_min > max_distance:
+            return max_distance + 1
+        previous = current
+    return previous[-1]
+
+
+class EditDistanceSearcher:
+    """q-gram count filter + banded verification for edit-distance lookups."""
+
+    def __init__(self, strings: Sequence[str], q: int = 3) -> None:
+        if q < 1:
+            raise ConfigurationError("q must be >= 1")
+        self.q = q
+        self.strings = list(strings)
+        self._tokenizer = QGramTokenizer(q=q)
+        # Multiset gram profiles, for the tight count filter.
+        self._profiles: List[Counter] = [
+            Counter(self._tokenizer.tokens(s)) for s in self.strings
+        ]
+        self._inverted: Dict[str, List[int]] = {}
+        for idx, profile in enumerate(self._profiles):
+            for gram in profile:
+                self._inverted.setdefault(gram, []).append(idx)
+
+    # ------------------------------------------------------------------
+    def count_filter_bound(self, query_grams: int, candidate_grams: int, k: int) -> int:
+        """Minimum multiset gram overlap required for ``ed <= k``."""
+        return max(query_grams, candidate_grams) - k * self.q
+
+    def search(
+        self, query: str, k: int, stats: Optional[IOStats] = None
+    ) -> List[Tuple[str, int]]:
+        """All stored strings within edit distance ``k``, nearest first.
+
+        Returns ``(string, distance)`` pairs.  ``k = 0`` degenerates to
+        exact match.  Completeness follows from the count filter; strings
+        sharing no gram with the query are only reachable when the filter
+        threshold is non-positive, in which case every string is verified.
+        """
+        if k < 0:
+            raise ConfigurationError("k must be >= 0")
+        query_profile = Counter(self._tokenizer.tokens(query))
+        query_grams = sum(query_profile.values())
+
+        overlap: Dict[int, int] = {}
+        for gram, count in query_profile.items():
+            for idx in self._inverted.get(gram, ()):
+                if stats is not None:
+                    stats.charge_element()
+                overlap[idx] = overlap.get(idx, 0) + min(
+                    count, self._profiles[idx][gram]
+                )
+
+        results: List[Tuple[str, int]] = []
+        for idx, candidate in enumerate(self.strings):
+            candidate_grams = sum(self._profiles[idx].values())
+            needed = self.count_filter_bound(query_grams, candidate_grams, k)
+            if needed > 0 and overlap.get(idx, 0) < needed:
+                continue  # provably more than k edits away
+            distance = levenshtein(query, candidate, max_distance=k)
+            if distance <= k:
+                results.append((candidate, distance))
+        results.sort(key=lambda pair: (pair[1], pair[0]))
+        return results
+
+    def candidates_checked(self, query: str, k: int) -> Tuple[int, int]:
+        """(verified, total) — how selective the count filter was."""
+        query_profile = Counter(self._tokenizer.tokens(query))
+        query_grams = sum(query_profile.values())
+        overlap: Dict[int, int] = {}
+        for gram, count in query_profile.items():
+            for idx in self._inverted.get(gram, ()):
+                overlap[idx] = overlap.get(idx, 0) + min(
+                    count, self._profiles[idx][gram]
+                )
+        verified = 0
+        for idx in range(len(self.strings)):
+            candidate_grams = sum(self._profiles[idx].values())
+            needed = self.count_filter_bound(query_grams, candidate_grams, k)
+            if needed <= 0 or overlap.get(idx, 0) >= needed:
+                verified += 1
+        return verified, len(self.strings)

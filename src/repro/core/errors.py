@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+being able to distinguish configuration mistakes from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or an inconsistent combination of options."""
+
+
+class InvalidThresholdError(ConfigurationError):
+    """A similarity threshold outside the half-open interval (0, 1]."""
+
+    def __init__(self, threshold: float) -> None:
+        super().__init__(
+            f"threshold must satisfy 0 < tau <= 1, got {threshold!r}"
+        )
+        self.threshold = threshold
+
+
+class EmptyQueryError(ReproError):
+    """A query that produced no tokens (nothing to search for)."""
+
+
+class UnknownAlgorithmError(ConfigurationError):
+    """A selection-algorithm name that the registry does not know."""
+
+    def __init__(self, name: str, known: list) -> None:
+        super().__init__(
+            f"unknown algorithm {name!r}; known algorithms: {sorted(known)}"
+        )
+        self.name = name
+        self.known = sorted(known)
+
+
+class IndexNotBuiltError(ReproError):
+    """An operation that requires a built index was attempted before build."""
+
+
+class StorageError(ReproError):
+    """A failure in the simulated storage layer (pages, hashing, trees)."""
+
+
+class SchemaError(ReproError):
+    """A relational operation referenced a column that does not exist."""

@@ -1,0 +1,169 @@
+"""Semantic properties of the IDF measure (Section IV of the paper).
+
+Three properties drive all pruning in the improved algorithms:
+
+* **Order Preservation (Property 1)** — inverted lists are sorted by
+  ``(len(s), id)``; since a set's length is constant across lists, two sets
+  appear in the same relative order in every list they share.  Consequently,
+  once a list's frontier has passed ``(len(s), id(s))`` without ``s``
+  appearing, ``s`` is provably absent from that list.
+
+* **Magnitude Boundedness (Property 2)** — after the first encounter of
+  ``s`` (which reveals ``len(s)``), a tight best-case score
+  ``Σ_i idf(q^i)² / (len(s)·len(q))`` over the not-yet-ruled-out lists is
+  directly computable.
+
+* **Length Boundedness (Theorem 1)** — ``I(q,s) ≥ τ`` implies
+  ``τ·len(q) ≤ len(s) ≤ len(q)/τ``, and the bounds are tight.
+
+This module provides those computations plus the SF algorithm's per-list
+cutoffs ``λ_i`` (Equation 2) and the NRA/iNRA frontier threshold ``F``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .errors import InvalidThresholdError
+
+__all__ = [
+    "SCORE_EPSILON",
+    "validate_threshold",
+    "effective_threshold",
+    "length_bounds",
+    "within_length_bounds",
+    "lambda_cutoffs",
+    "frontier_threshold",
+    "magnitude_upper_bound",
+    "entry_precedes",
+    "tf_boosted_length_bounds",
+]
+
+SCORE_EPSILON = 1e-9
+"""Absolute tolerance applied to every threshold comparison.
+
+Similarity scores are assembled from floating-point contribution sums whose
+association order differs between the reference scorer and the incremental
+algorithms; without a tolerance, ``tau = 1.0`` exact-match queries would
+accept or reject borderline sets depending on summation order.  Every engine
+(brute force, all list algorithms, SQL) compares against the same
+``tau - SCORE_EPSILON``, so results stay mutually consistent.
+"""
+
+
+def validate_threshold(tau: float) -> float:
+    """Check ``0 < tau <= 1`` and return it; raise otherwise."""
+    if not (0.0 < tau <= 1.0):
+        raise InvalidThresholdError(tau)
+    return float(tau)
+
+
+def effective_threshold(tau: float) -> float:
+    """The internally used threshold: ``tau`` minus the float tolerance."""
+    validate_threshold(tau)
+    return max(tau - SCORE_EPSILON, SCORE_EPSILON)
+
+
+def length_bounds(query_length: float, tau: float) -> Tuple[float, float]:
+    """Theorem 1: the admissible normalized-length window for answers.
+
+    Returns ``(tau * len(q), len(q) / tau)``.  Any set whose normalized
+    length falls strictly outside this closed interval cannot reach
+    similarity ``tau`` with the query.
+    """
+    tau = validate_threshold(tau)
+    return tau * query_length, query_length / tau
+
+
+def within_length_bounds(
+    set_length: float, query_length: float, tau: float
+) -> bool:
+    """Whether ``set_length`` lies inside the Theorem 1 window (inclusive)."""
+    lo, hi = length_bounds(query_length, tau)
+    return lo <= set_length <= hi
+
+
+def lambda_cutoffs(
+    idf_squared_desc: Sequence[float], query_length: float, tau: float
+) -> List[float]:
+    """SF's per-list length cutoffs ``λ_i`` (Equation 2).
+
+    ``idf_squared_desc`` must be the query tokens' squared idfs sorted in
+    *decreasing* order (the order SF processes lists in).  ``λ_i`` is the
+    largest normalized length a set first discovered in list ``i`` can have
+    and still reach ``tau``, assuming it also appears in every later list:
+
+        λ_i = Σ_{j ≥ i} idf(q^j)² / (τ · len(q))
+
+    The returned list is non-increasing (λ_1 ≥ λ_2 ≥ ... ≥ λ_n).  A zero
+    query length yields all-zero cutoffs.
+    """
+    tau = validate_threshold(tau)
+    if query_length <= 0.0:
+        return [0.0] * len(idf_squared_desc)
+    denom = tau * query_length
+    cutoffs: List[float] = []
+    suffix = 0.0
+    for v in reversed(idf_squared_desc):
+        suffix += v
+        cutoffs.append(suffix / denom)
+    cutoffs.reverse()
+    return cutoffs
+
+
+def frontier_threshold(frontier_contributions: Sequence[Optional[float]]) -> float:
+    """``F = Σ_i w_i(f_i)``: best possible score of a yet-unseen set.
+
+    ``None`` entries denote exhausted lists (they contribute nothing).  Once
+    ``F < tau`` no new candidate can qualify, so algorithms stop admitting
+    new sets and only complete the scores of known candidates.
+    """
+    return sum(c for c in frontier_contributions if c is not None)
+
+
+def magnitude_upper_bound(
+    set_length: float,
+    query_length: float,
+    idf_squared_open: Sequence[float],
+    known_score: float = 0.0,
+) -> float:
+    """Property 2: best-case score of a set with known length.
+
+    ``idf_squared_open`` holds the squared idfs of the query tokens whose
+    lists might still contain the set (not yet seen there and not ruled out
+    by order preservation or exhaustion).  ``known_score`` is the aggregated
+    lower bound from lists where the set already appeared.
+    """
+    denom = set_length * query_length
+    if denom <= 0.0:
+        return known_score
+    return known_score + sum(idf_squared_open) / denom
+
+
+def entry_precedes(
+    length_a: float, id_a: int, length_b: float, id_b: int
+) -> bool:
+    """Whether entry A sorts strictly before entry B in a ``(len, id)`` list.
+
+    Used for order-preservation pruning: if a list's frontier entry B does
+    not precede a candidate A (i.e. A precedes or equals B) and A was not
+    seen in that list, A will never appear there.
+    """
+    return (length_a, id_a) < (length_b, id_b)
+
+
+def tf_boosted_length_bounds(
+    query_length: float, tau: float, max_tf: float
+) -> Tuple[float, float]:
+    """Looser Theorem 1 window for tf-based measures (TF/IDF, BM25).
+
+    Section IV notes that TF/IDF and BM25 follow looser versions of the
+    semantic properties, obtained by associating every token with a maximum
+    tf component and boosting the bounds accordingly.  With tf capped at
+    ``max_tf``, every token weight grows by at most that factor, so the
+    window widens by the same factor on both sides.
+    """
+    if max_tf < 1.0:
+        raise ValueError(f"max_tf must be >= 1, got {max_tf}")
+    lo, hi = length_bounds(query_length, tau)
+    return lo / max_tf, hi * max_tf

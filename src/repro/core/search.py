@@ -1,0 +1,191 @@
+"""High-level facade: build an index once, search it with any algorithm.
+
+:class:`SetSimilaritySearcher` operates on token sets (the library's native
+unit); :class:`StringMatcher` wraps it with a tokenizer for the common
+data-cleaning workflow of the paper's introduction — matching dirty strings
+against a reference table.
+
+>>> from repro import StringMatcher
+>>> matcher = StringMatcher(["Main St., Main", "Main St., Maine", "Elm Ave"])
+>>> matcher.match("Main St., Mane", threshold=0.5)   # doctest: +SKIP
+[("Main St., Maine", 0.87...), ("Main St., Main", 0.79...)]
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..algorithms.base import (
+    AlgorithmResult,
+    SearchResult,
+    SelectionAlgorithm,
+    make_algorithm,
+)
+from ..storage.invlist import InvertedIndex
+from .collection import SetCollection
+from .errors import EmptyQueryError
+from .properties import effective_threshold
+from .query import PreparedQuery
+from .similarity import idf_similarity
+from .tokenize import QGramTokenizer, Tokenizer
+from .topk import TopKResult, TopKSearcher
+
+DEFAULT_ALGORITHM = "sf"
+
+
+class SetSimilaritySearcher:
+    """An inverted index over a collection plus algorithm dispatch.
+
+    Parameters mirror :class:`~repro.storage.invlist.InvertedIndex`; by
+    default all auxiliary structures are built so every algorithm can run.
+    Pass ``with_hash_index=False`` / ``with_id_lists=False`` to save space
+    when TA-style / sort-by-id search is not needed.
+    """
+
+    def __init__(
+        self,
+        collection: SetCollection,
+        with_id_lists: bool = True,
+        with_skip_lists: bool = True,
+        with_hash_index: bool = True,
+        **index_options: Any,
+    ) -> None:
+        self.collection = collection
+        self.index = InvertedIndex(
+            collection,
+            with_id_lists=with_id_lists,
+            with_skip_lists=with_skip_lists,
+            with_hash_index=with_hash_index,
+            **index_options,
+        )
+        self._topk = TopKSearcher(self.index, use_skip_lists=with_skip_lists)
+
+    # ------------------------------------------------------------------
+    def prepare(self, tokens: Sequence[str]) -> PreparedQuery:
+        return PreparedQuery(tokens, self.collection.stats)
+
+    def search(
+        self,
+        tokens: Sequence[str],
+        threshold: float,
+        algorithm: str = DEFAULT_ALGORITHM,
+        **algorithm_options: Any,
+    ) -> AlgorithmResult:
+        """Selection: all sets with IDF similarity >= threshold."""
+        query = self.prepare(tokens)
+        return self.search_prepared(
+            query, threshold, algorithm, **algorithm_options
+        )
+
+    def search_prepared(
+        self,
+        query: PreparedQuery,
+        threshold: float,
+        algorithm: str = DEFAULT_ALGORITHM,
+        **algorithm_options: Any,
+    ) -> AlgorithmResult:
+        if algorithm == "auto":
+            from .analysis import choose_algorithm
+
+            algorithm = choose_algorithm(self.index, query, threshold)
+        alg = make_algorithm(algorithm, self.index, **algorithm_options)
+        return alg.search(query, threshold)
+
+    def top_k(self, tokens: Sequence[str], k: int) -> TopKResult:
+        """The k most similar sets (future-work extension, Section X)."""
+        return self._topk.search(self.prepare(tokens), k)
+
+    def search_or_suggest(
+        self,
+        tokens: Sequence[str],
+        threshold: float,
+        suggestions: int = 3,
+        algorithm: str = DEFAULT_ALGORITHM,
+    ) -> Tuple[List[SearchResult], bool]:
+        """Threshold selection with a did-you-mean fallback.
+
+        Returns ``(results, matched)``: the threshold answers with
+        ``matched=True`` when any exist, otherwise the top
+        ``suggestions`` below-threshold candidates with ``matched=False``
+        (empty when nothing overlaps at all).
+        """
+        result = self.search(tokens, threshold, algorithm)
+        if result.results:
+            return list(result.results), True
+        return list(self.top_k(tokens, suggestions).results), False
+
+    def brute_force(
+        self, tokens: Sequence[str], threshold: float
+    ) -> List[SearchResult]:
+        """Reference answer by scoring every set — used by tests and for
+        small collections where index overhead is not worth it."""
+        stats = self.collection.stats
+        try:
+            query = self.prepare(tokens)
+        except EmptyQueryError:
+            return []
+        cutoff = effective_threshold(threshold)
+        out: List[SearchResult] = []
+        lengths = self.collection.lengths()
+        for rec in self.collection:
+            score = idf_similarity(
+                query.tokens,
+                rec.tokens,
+                stats,
+                q_length=query.length,
+                s_length=lengths[rec.set_id],
+            )
+            if score >= cutoff:
+                out.append(SearchResult(rec.set_id, score))
+        out.sort(key=lambda r: (-r.score, r.set_id))
+        return out
+
+
+class StringMatcher:
+    """String-level convenience API for data-cleaning lookups.
+
+    Builds a q-gram searcher over a list of strings; ``match`` returns
+    ``(string, score)`` pairs above the threshold, best first.
+    """
+
+    def __init__(
+        self,
+        strings: Sequence[str],
+        tokenizer: Optional[Tokenizer] = None,
+        **searcher_options: Any,
+    ) -> None:
+        self.tokenizer = tokenizer or QGramTokenizer(q=3)
+        self.strings = list(strings)
+        self.collection = SetCollection.from_strings(
+            self.strings, self.tokenizer
+        )
+        self.searcher = SetSimilaritySearcher(
+            self.collection, **searcher_options
+        )
+
+    def match(
+        self,
+        query: str,
+        threshold: float,
+        algorithm: str = DEFAULT_ALGORITHM,
+    ) -> List[Tuple[str, float]]:
+        """All stored strings with similarity >= threshold, best first."""
+        tokens = self.tokenizer.tokens(query)
+        if not tokens:
+            return []
+        result = self.searcher.search(tokens, threshold, algorithm)
+        return [
+            (self.collection.payload(r.set_id), r.score)
+            for r in result.results
+        ]
+
+    def best_matches(self, query: str, k: int = 5) -> List[Tuple[str, float]]:
+        """The k most similar stored strings (top-k extension)."""
+        tokens = self.tokenizer.tokens(query)
+        if not tokens:
+            return []
+        result = self.searcher.top_k(tokens, k)
+        return [
+            (self.collection.payload(r.set_id), r.score)
+            for r in result.results
+        ]

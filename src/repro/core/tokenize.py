@@ -1,0 +1,202 @@
+"""Tokenizers that turn strings into token sets or multisets.
+
+The paper decomposes strings two ways: into *words* (for the IMDB/DBLP
+experiments the unit of retrieval is a word) and into *q-grams* (each word is
+converted into a set of 3-grams for similarity evaluation).  Both tokenizers
+are provided here, along with a composable pipeline used by the high-level
+:class:`~repro.core.search.StringMatcher`.
+
+Because the IDF measure drops the ``tf`` component, most callers want plain
+``set`` output; the TF/IDF and BM25 measures need multiset counts, so every
+tokenizer can also produce a token->count mapping via :meth:`counts`.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .errors import ConfigurationError
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+")
+
+
+class Tokenizer:
+    """Base interface: subclasses implement :meth:`tokens`.
+
+    ``tokens`` returns the token *sequence* (with duplicates, in order);
+    :meth:`counts` and :meth:`set` derive the multiset and set views from it.
+    """
+
+    def tokens(self, text: str) -> List[str]:
+        raise NotImplementedError
+
+    def counts(self, text: str) -> Dict[str, int]:
+        """Multiset view: token -> occurrence count."""
+        return dict(Counter(self.tokens(text)))
+
+    def set(self, text: str) -> frozenset:
+        """Set view: distinct tokens only (the IDF measure's input)."""
+        return frozenset(self.tokens(text))
+
+    def __call__(self, text: str) -> List[str]:
+        return self.tokens(text)
+
+
+class WordTokenizer(Tokenizer):
+    """Split text into lowercase alphanumeric words.
+
+    ``min_length`` drops words shorter than the given number of characters
+    (useful for discarding noise tokens such as single letters).
+    """
+
+    def __init__(self, lowercase: bool = True, min_length: int = 1) -> None:
+        if min_length < 1:
+            raise ConfigurationError("min_length must be >= 1")
+        self.lowercase = lowercase
+        self.min_length = min_length
+
+    def tokens(self, text: str) -> List[str]:
+        if self.lowercase:
+            text = text.lower()
+        return [w for w in _WORD_RE.findall(text) if len(w) >= self.min_length]
+
+    def __repr__(self) -> str:
+        return (
+            f"WordTokenizer(lowercase={self.lowercase}, "
+            f"min_length={self.min_length})"
+        )
+
+
+class QGramTokenizer(Tokenizer):
+    """Decompose a string into overlapping q-grams.
+
+    Following the standard construction (and the paper's experiments, which
+    use 3-grams), the string is padded with ``q - 1`` copies of a sentinel
+    character on both ends, so a string of length ``L`` yields ``L + q - 1``
+    grams and even single-character strings produce usable sets.
+
+    Padding can be disabled with ``pad=False``, in which case strings shorter
+    than ``q`` yield a single gram equal to the whole string.
+    """
+
+    def __init__(
+        self,
+        q: int = 3,
+        pad: bool = True,
+        pad_char: str = "#",
+        lowercase: bool = True,
+    ) -> None:
+        if q < 1:
+            raise ConfigurationError(f"q must be >= 1, got {q}")
+        if len(pad_char) != 1:
+            raise ConfigurationError("pad_char must be a single character")
+        self.q = q
+        self.pad = pad
+        self.pad_char = pad_char
+        self.lowercase = lowercase
+
+    def tokens(self, text: str) -> List[str]:
+        if self.lowercase:
+            text = text.lower()
+        if not text:
+            return []
+        q = self.q
+        if self.pad and q > 1:
+            text = self.pad_char * (q - 1) + text + self.pad_char * (q - 1)
+        if len(text) < q:
+            return [text]
+        return [text[i : i + q] for i in range(len(text) - q + 1)]
+
+    def __repr__(self) -> str:
+        return (
+            f"QGramTokenizer(q={self.q}, pad={self.pad}, "
+            f"pad_char={self.pad_char!r}, lowercase={self.lowercase})"
+        )
+
+
+class WordQGramTokenizer(Tokenizer):
+    """Tokenize into words, then q-grams of each word, keeping word boundaries.
+
+    This mirrors the paper's pipeline where tuples are tokenized into words
+    and each word is converted into a 3-gram set.  The output is the union of
+    the per-word gram sequences.
+    """
+
+    def __init__(self, q: int = 3, **qgram_kwargs) -> None:
+        self._words = WordTokenizer()
+        self._grams = QGramTokenizer(q=q, **qgram_kwargs)
+
+    def tokens(self, text: str) -> List[str]:
+        out: List[str] = []
+        for word in self._words.tokens(text):
+            out.extend(self._grams.tokens(word))
+        return out
+
+    def __repr__(self) -> str:
+        return f"WordQGramTokenizer(q={self._grams.q})"
+
+
+def jaccard(a: Iterable[str], b: Iterable[str]) -> float:
+    """Unweighted Jaccard similarity of two token collections (set view).
+
+    Provided for comparison against the weighted measures; returns 1.0 for
+    two empty inputs by convention.
+    """
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 1.0
+    union = len(sa | sb)
+    return len(sa & sb) / union if union else 0.0
+
+
+def tokenizer_from_name(name: str, **kwargs) -> Tokenizer:
+    """Factory used by configuration code: ``word``, ``qgram`` or ``word+qgram``."""
+    registry = {
+        "word": WordTokenizer,
+        "qgram": QGramTokenizer,
+        "word+qgram": WordQGramTokenizer,
+    }
+    try:
+        cls = registry[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown tokenizer {name!r}; choose from {sorted(registry)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def split_into_words(text: str) -> List[str]:
+    """Convenience wrapper mirroring the paper's word-level record extraction."""
+    return WordTokenizer().tokens(text)
+
+
+def ngram_profile(texts: Sequence[str], q: int = 3) -> Dict[str, int]:
+    """Corpus-level q-gram document frequencies (how many texts contain a gram).
+
+    Used by the synthetic-data tooling to sanity-check that generated corpora
+    have realistic gram-frequency skew.
+    """
+    tok = QGramTokenizer(q=q)
+    df: Counter = Counter()
+    for t in texts:
+        df.update(tok.set(t))
+    return dict(df)
+
+
+def gram_count_for_length(word_len: int, q: int = 3, pad: bool = True) -> int:
+    """Number of q-grams produced for a word of ``word_len`` characters."""
+    if word_len <= 0:
+        return 0
+    if pad and q > 1:
+        return word_len + q - 1
+    return max(1, word_len - q + 1)
+
+
+def length_bucket(token_count: int, buckets: Sequence[Tuple[int, int]]) -> int:
+    """Index of the (lo, hi) bucket containing ``token_count``, or -1."""
+    for i, (lo, hi) in enumerate(buckets):
+        if lo <= token_count <= hi:
+            return i
+    return -1

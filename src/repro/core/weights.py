@@ -1,0 +1,161 @@
+"""idf statistics, normalized set lengths, and per-token contributions.
+
+This module implements the weighting machinery of Section II of the paper:
+
+* ``idf(t) = log2(1 + N / N(t))`` where ``N`` is the number of sets in the
+  database and ``N(t)`` the number of sets containing token ``t``;
+* the *normalized length* ``len(s) = sqrt(Σ_{t∈s} idf(t)²)``;
+* the per-token contribution ``w_i(s) = idf(q^i)² / (len(s)·len(q))`` used by
+  every list-merging algorithm.
+
+Tokens never seen in the database get the maximum idf (``N(t)`` treated as 1)
+so that unseen query tokens are maximally discriminating, matching the usual
+information-retrieval convention; this choice only affects query lengths since
+unseen tokens have empty inverted lists.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "IdfStatistics",
+    "normalized_length",
+    "contribution",
+]
+
+
+class IdfStatistics:
+    """Corpus-level token statistics: document frequencies and idf weights.
+
+    Instances are immutable after construction.  Build one with
+    :meth:`from_sets` (counting each distinct token once per set, matching
+    the IDF measure's set semantics) or supply explicit document frequencies.
+
+    Parameters
+    ----------
+    num_sets:
+        ``N``, the total number of sets in the database.
+    doc_freq:
+        Mapping from token to ``N(t)``, the number of sets containing it.
+    avg_set_size:
+        Mean number of distinct tokens per set; needed only by BM25.
+    """
+
+    __slots__ = ("num_sets", "_doc_freq", "avg_set_size", "_idf_cache")
+
+    def __init__(
+        self,
+        num_sets: int,
+        doc_freq: Mapping[str, int],
+        avg_set_size: Optional[float] = None,
+    ) -> None:
+        if num_sets < 0:
+            raise ConfigurationError("num_sets must be non-negative")
+        for token, df in doc_freq.items():
+            if df < 1:
+                raise ConfigurationError(
+                    f"document frequency of {token!r} must be >= 1, got {df}"
+                )
+        self.num_sets = num_sets
+        self._doc_freq = dict(doc_freq)
+        self.avg_set_size = avg_set_size
+        self._idf_cache: Dict[str, float] = {}
+
+    @classmethod
+    def from_sets(cls, sets: Iterable[Iterable[str]]) -> "IdfStatistics":
+        """Count document frequencies over an iterable of token collections.
+
+        Each collection is reduced to its distinct tokens before counting, so
+        multisets and sets produce identical statistics (as required by the
+        IDF measure, which ignores ``tf``).
+        """
+        df: Counter = Counter()
+        n = 0
+        total_size = 0
+        for s in sets:
+            distinct = frozenset(s)
+            df.update(distinct)
+            n += 1
+            total_size += len(distinct)
+        avg = (total_size / n) if n else None
+        return cls(num_sets=n, doc_freq=df, avg_set_size=avg)
+
+    def doc_freq(self, token: str) -> int:
+        """``N(t)``; unseen tokens are treated as appearing in one set."""
+        return self._doc_freq.get(token, 1)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._doc_freq
+
+    def __len__(self) -> int:
+        return len(self._doc_freq)
+
+    def tokens(self):
+        """All tokens with recorded document frequencies."""
+        return self._doc_freq.keys()
+
+    def idf(self, token: str) -> float:
+        """``idf(t) = log2(1 + N / N(t))`` (paper, Section II)."""
+        cached = self._idf_cache.get(token)
+        if cached is not None:
+            return cached
+        n = max(self.num_sets, 1)
+        value = math.log2(1.0 + n / self.doc_freq(token))
+        self._idf_cache[token] = value
+        return value
+
+    def idf_squared(self, token: str) -> float:
+        v = self.idf(token)
+        return v * v
+
+    def length(self, tokens: Iterable[str]) -> float:
+        """Normalized length ``len(s) = sqrt(Σ idf(t)²)`` over distinct tokens."""
+        return normalized_length(tokens, self)
+
+    def __repr__(self) -> str:
+        return (
+            f"IdfStatistics(num_sets={self.num_sets}, "
+            f"vocabulary={len(self._doc_freq)})"
+        )
+
+
+def normalized_length(tokens: Iterable[str], stats: IdfStatistics) -> float:
+    """``len(s) = sqrt(Σ_{t∈s} idf(t)²)`` over the *distinct* tokens of ``s``.
+
+    The sum runs over tokens in sorted order so two equal sets always get
+    bit-identical lengths regardless of construction order — which keeps
+    ``tau = 1`` selections and the Theorem 1 window numerically stable.
+    """
+    total = 0.0
+    for t in sorted(frozenset(tokens)):
+        v = stats.idf(t)
+        total += v * v
+    return math.sqrt(total)
+
+
+def contribution(
+    token: str,
+    set_length: float,
+    query_length: float,
+    stats: IdfStatistics,
+) -> float:
+    """Per-token score contribution ``w_i(s) = idf(t)² / (len(s)·len(q))``.
+
+    Returns 0.0 when either length is zero (empty set or empty query), which
+    keeps degenerate inputs from raising and matches the convention that an
+    empty set matches nothing.
+    """
+    denom = set_length * query_length
+    if denom <= 0.0:
+        return 0.0
+    return stats.idf_squared(token) / denom
+
+
+def tf_counts(tokens: Sequence[str]) -> Dict[str, int]:
+    """Term-frequency view of a token sequence (used by TF/IDF and BM25)."""
+    return dict(Counter(tokens))

@@ -1,0 +1,57 @@
+"""Synthetic datasets, error models and query workloads."""
+
+from .loaders import (
+    dump_token_sets,
+    load_delimited,
+    load_lines,
+    load_token_sets,
+)
+from .errors import (
+    GradedDataset,
+    apply_modifications,
+    make_all_levels,
+    make_graded_dataset,
+    modifications_for_level,
+)
+from .synthetic import (
+    WordGenerator,
+    WordLocation,
+    build_word_collection,
+    distinct_words,
+    generate_records,
+    generate_word_database,
+    word_occurrences,
+    zipf_weights,
+)
+from .workloads import (
+    GRAM_BUCKETS,
+    QueryWorkload,
+    all_bucket_workloads,
+    bucket_words,
+    make_workload,
+)
+
+__all__ = [
+    "dump_token_sets",
+    "load_delimited",
+    "load_lines",
+    "load_token_sets",
+    "GradedDataset",
+    "apply_modifications",
+    "make_all_levels",
+    "make_graded_dataset",
+    "modifications_for_level",
+    "WordGenerator",
+    "WordLocation",
+    "build_word_collection",
+    "distinct_words",
+    "generate_records",
+    "generate_word_database",
+    "word_occurrences",
+    "zipf_weights",
+    "GRAM_BUCKETS",
+    "QueryWorkload",
+    "all_bucket_workloads",
+    "bucket_words",
+    "make_workload",
+]

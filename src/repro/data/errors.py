@@ -1,0 +1,175 @@
+"""Error models: character modifications and graded-error datasets.
+
+Two uses in the paper:
+
+* the query workloads apply "a fixed number of random letter insertions,
+  deletions and swaps (termed *modifications*)" to sampled words, producing
+  queries with close-but-not-exact matches (Figures 6c/7c);
+* Table I evaluates measure quality on the cu1..cu8 datasets of the
+  SIGMOD'07 benchmark [10] — eight datasets with graded error levels, from
+  high error (cu1) to low (cu8).  Those datasets derive from real company
+  names and are not redistributable; :func:`make_graded_dataset` regenerates
+  the construction: clean source strings plus erroneous duplicates, where
+  the error level controls how many modifications each duplicate receives
+  and how many of its words are touched.
+
+All randomness flows through an explicit seed, so datasets are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+NUM_ERROR_LEVELS = 8
+
+
+def apply_modifications(
+    text: str, num_modifications: int, rng: random.Random
+) -> str:
+    """Apply random character insertions, deletions and adjacent swaps.
+
+    Mirrors the paper's query perturbation.  Deletions and swaps are skipped
+    when the string is too short for them; the replacement operation drawn
+    is then an insertion, so exactly ``num_modifications`` edits are applied.
+    """
+    if num_modifications < 0:
+        raise ConfigurationError("num_modifications must be >= 0")
+    chars = list(text)
+    for _ in range(num_modifications):
+        ops = ["insert"]
+        if len(chars) >= 1:
+            ops.append("delete")
+        if len(chars) >= 2:
+            ops.append("swap")
+        op = rng.choice(ops)
+        if op == "insert":
+            pos = rng.randrange(len(chars) + 1)
+            chars.insert(pos, rng.choice(_ALPHABET))
+        elif op == "delete":
+            pos = rng.randrange(len(chars))
+            del chars[pos]
+        else:  # swap adjacent characters
+            pos = rng.randrange(len(chars) - 1)
+            chars[pos], chars[pos + 1] = chars[pos + 1], chars[pos]
+    return "".join(chars)
+
+
+def modifications_for_level(level: int) -> Tuple[int, float]:
+    """Error intensity of a cu-style level.
+
+    Returns ``(mods_per_dirty_word, fraction_of_words_touched)``; level 1 is
+    the dirtiest (cu1), level 8 the cleanest (cu8), matching the monotone
+    precision trend of Table I.
+    """
+    if not (1 <= level <= NUM_ERROR_LEVELS):
+        raise ConfigurationError(
+            f"level must be in 1..{NUM_ERROR_LEVELS}, got {level}"
+        )
+    mods = max(1, (NUM_ERROR_LEVELS + 1 - level) // 2)  # 4,3,3,2,2,1,1,1
+    touched = 0.25 + 0.75 * (NUM_ERROR_LEVELS - level) / (NUM_ERROR_LEVELS - 1)
+    return mods, touched
+
+
+class GradedDataset:
+    """A graded-error dataset: strings + duplicate-group ground truth.
+
+    ``strings[i]`` belongs to group ``groups[i]``; all strings sharing a
+    group derive from the same clean source.  Queries for the Table I
+    experiment are drawn from the dirty strings; the relevant answers for a
+    query are the other members of its group.
+    """
+
+    def __init__(
+        self,
+        level: int,
+        strings: List[str],
+        groups: List[int],
+    ) -> None:
+        self.level = level
+        self.strings = strings
+        self.groups = groups
+        self._members: Dict[int, List[int]] = {}
+        for idx, g in enumerate(groups):
+            self._members.setdefault(g, []).append(idx)
+
+    def group_members(self, group: int) -> List[int]:
+        return self._members[group]
+
+    def relevant_for(self, index: int) -> List[int]:
+        """Indexes of the other strings in the same duplicate group."""
+        return [
+            i for i in self._members[self.groups[index]] if i != index
+        ]
+
+    def dirty_indexes(self) -> List[int]:
+        """Indexes of non-first group members (the erroneous duplicates)."""
+        out = []
+        for members in self._members.values():
+            out.extend(members[1:])
+        return out
+
+    def __len__(self) -> int:
+        return len(self.strings)
+
+    def __repr__(self) -> str:
+        return (
+            f"GradedDataset(level=cu{self.level}, strings={len(self)}, "
+            f"groups={len(self._members)})"
+        )
+
+
+def make_graded_dataset(
+    level: int,
+    clean_strings: Sequence[str],
+    duplicates_per_string: int = 3,
+    seed: int = 2008,
+) -> GradedDataset:
+    """Build a cu<level>-style dataset from clean source strings.
+
+    Each clean string is kept and joined by ``duplicates_per_string``
+    erroneous copies; the error level controls, per copy, how many of its
+    words are modified and how many edits each touched word receives.
+    """
+    mods, touched_fraction = modifications_for_level(level)
+    rng = random.Random(seed * 100 + level)
+    strings: List[str] = []
+    groups: List[int] = []
+    for group, clean in enumerate(clean_strings):
+        strings.append(clean)
+        groups.append(group)
+        words = clean.split()
+        for _ in range(duplicates_per_string):
+            dirty_words = []
+            touched_any = False
+            for w in words:
+                if rng.random() < touched_fraction:
+                    dirty_words.append(apply_modifications(w, mods, rng))
+                    touched_any = True
+                else:
+                    dirty_words.append(w)
+            if not touched_any and words:
+                # Guarantee every duplicate differs from its source.
+                pos = rng.randrange(len(words))
+                dirty_words[pos] = apply_modifications(words[pos], mods, rng)
+            strings.append(" ".join(dirty_words))
+            groups.append(group)
+    return GradedDataset(level, strings, groups)
+
+
+def make_all_levels(
+    clean_strings: Sequence[str],
+    duplicates_per_string: int = 3,
+    seed: int = 2008,
+) -> List[GradedDataset]:
+    """cu1..cu8 in one call (dirtiest first, as in Table I)."""
+    return [
+        make_graded_dataset(
+            level, clean_strings, duplicates_per_string, seed
+        )
+        for level in range(1, NUM_ERROR_LEVELS + 1)
+    ]

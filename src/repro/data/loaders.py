@@ -1,0 +1,126 @@
+"""Loaders for user-supplied data: text, CSV/TSV, and token-set files.
+
+The synthetic generators stand in for the paper's corpora; real deployments
+have their own strings.  These loaders turn the common file shapes into a
+:class:`~repro.core.collection.SetCollection` ready for indexing:
+
+* :func:`load_lines` — one string per line (the CLI's ``index`` input);
+* :func:`load_delimited` — CSV/TSV with a designated text column (and an
+  optional payload column), e.g. an exported customer table;
+* :func:`load_token_sets` — pre-tokenized data, one whitespace-separated
+  token set per line (interoperates with set-similarity tool formats).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterator, List, Optional
+
+from ..core.collection import SetCollection
+from ..core.errors import ConfigurationError
+from ..core.tokenize import QGramTokenizer, Tokenizer
+
+
+def iter_lines(path) -> Iterator[str]:
+    """Non-empty, newline-stripped lines of a UTF-8 text file."""
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.rstrip("\n")
+            if line.strip():
+                yield line
+
+
+def load_lines(
+    path,
+    tokenizer: Optional[Tokenizer] = None,
+    limit: Optional[int] = None,
+) -> SetCollection:
+    """One record per line; payload is the line itself."""
+    tok = tokenizer or QGramTokenizer(q=3)
+    collection = SetCollection()
+    for i, line in enumerate(iter_lines(path)):
+        if limit is not None and i >= limit:
+            break
+        collection.add(tok.tokens(line), payload=line)
+    return collection.freeze()
+
+
+def load_delimited(
+    path,
+    text_column,
+    payload_column=None,
+    delimiter: str = ",",
+    has_header: bool = True,
+    tokenizer: Optional[Tokenizer] = None,
+    limit: Optional[int] = None,
+) -> SetCollection:
+    """CSV/TSV loader.
+
+    ``text_column``/``payload_column`` are column names when
+    ``has_header`` (the default) or 0-based indexes otherwise.  The payload
+    defaults to the text value; pass a distinct payload column to carry a
+    record key through search results.
+    """
+    tok = tokenizer or QGramTokenizer(q=3)
+    collection = SetCollection()
+    with open(path, encoding="utf-8", newline="") as fh:
+        reader = csv.reader(fh, delimiter=delimiter)
+        header: Optional[List[str]] = None
+        if has_header:
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise ConfigurationError(f"{path} is empty") from None
+
+        def position(column) -> int:
+            if isinstance(column, int):
+                return column
+            if header is None:
+                raise ConfigurationError(
+                    "column names require has_header=True"
+                )
+            try:
+                return header.index(column)
+            except ValueError:
+                raise ConfigurationError(
+                    f"no column {column!r}; header is {header}"
+                ) from None
+
+        text_pos = position(text_column)
+        payload_pos = (
+            position(payload_column) if payload_column is not None else None
+        )
+        for i, row in enumerate(reader):
+            if limit is not None and i >= limit:
+                break
+            if text_pos >= len(row):
+                continue  # ragged row: nothing to index
+            text = row[text_pos]
+            payload = (
+                row[payload_pos]
+                if payload_pos is not None and payload_pos < len(row)
+                else text
+            )
+            collection.add(tok.tokens(text), payload=payload)
+    return collection.freeze()
+
+
+def load_token_sets(path, limit: Optional[int] = None) -> SetCollection:
+    """Pre-tokenized input: one whitespace-separated token set per line."""
+    collection = SetCollection()
+    for i, line in enumerate(iter_lines(path)):
+        if limit is not None and i >= limit:
+            break
+        tokens = line.split()
+        collection.add(tokens, payload=line)
+    return collection.freeze()
+
+
+def dump_token_sets(collection: SetCollection, path) -> int:
+    """Inverse of :func:`load_token_sets`; returns the number of lines."""
+    out = Path(path)
+    with open(out, "w", encoding="utf-8") as fh:
+        for rec in collection:
+            fh.write(" ".join(sorted(rec.tokens)) + "\n")
+    return len(collection)

@@ -1,0 +1,136 @@
+"""Query workloads matching the paper's experimental protocol (§VIII-A).
+
+The paper builds workloads of 100 words each "by randomly extracting words
+between lengths 1-5, 6-10, 11-15, and 16-20 3-grams from the base table"
+(so every word has at least one exact match), then applies "a fixed number
+of random letter insertions, deletions and swaps" to create near-match
+queries.  This module reproduces that: bucket the collection's words by
+q-gram count, sample, perturb, and hand back the query strings alongside
+the ids they were sampled from.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..core.collection import SetCollection
+from ..core.errors import ConfigurationError
+from ..core.tokenize import QGramTokenizer
+from .errors import apply_modifications
+
+GRAM_BUCKETS: Tuple[Tuple[int, int], ...] = (
+    (1, 5),
+    (6, 10),
+    (11, 15),
+    (16, 20),
+)
+"""The paper's query-size buckets, in 3-grams per word."""
+
+
+class QueryWorkload:
+    """A set of query strings with provenance.
+
+    ``queries[i]`` was derived from ``source_ids[i]`` (a set id in the
+    collection) by ``modifications`` random edits.  With 0 modifications
+    every query has at least one exact match — its source.
+    """
+
+    def __init__(
+        self,
+        queries: List[str],
+        source_ids: List[int],
+        bucket: Tuple[int, int],
+        modifications: int,
+    ) -> None:
+        self.queries = queries
+        self.source_ids = source_ids
+        self.bucket = bucket
+        self.modifications = modifications
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryWorkload(n={len(self.queries)}, bucket={self.bucket}, "
+            f"mods={self.modifications})"
+        )
+
+
+def bucket_words(
+    collection: SetCollection,
+    tokenizer: Optional[QGramTokenizer] = None,
+) -> Dict[Tuple[int, int], List[int]]:
+    """Group set ids by the paper's gram-count buckets.
+
+    The bucket of a word is the number of q-grams in its set (its distinct
+    token count), which for padded 3-grams tracks word length directly.
+    """
+    buckets: Dict[Tuple[int, int], List[int]] = {b: [] for b in GRAM_BUCKETS}
+    for rec in collection:
+        n = len(rec.tokens)
+        for lo, hi in GRAM_BUCKETS:
+            if lo <= n <= hi:
+                buckets[(lo, hi)].append(rec.set_id)
+                break
+    return buckets
+
+
+def make_workload(
+    collection: SetCollection,
+    bucket: Tuple[int, int] = (11, 15),
+    count: int = 100,
+    modifications: int = 0,
+    seed: int = 2008,
+) -> QueryWorkload:
+    """Sample ``count`` words from the bucket and apply the modifications.
+
+    Sampling is with replacement when the bucket holds fewer than ``count``
+    words (small synthetic corpora), without replacement otherwise —
+    matching the paper's random extraction either way.
+    """
+    if bucket not in GRAM_BUCKETS:
+        raise ConfigurationError(
+            f"bucket must be one of {GRAM_BUCKETS}, got {bucket}"
+        )
+    if count < 1:
+        raise ConfigurationError("count must be >= 1")
+    rng = random.Random(seed)
+    candidates = bucket_words(collection)[bucket]
+    if not candidates:
+        raise ConfigurationError(
+            f"collection has no words in bucket {bucket}"
+        )
+    if len(candidates) >= count:
+        chosen = rng.sample(candidates, count)
+    else:
+        chosen = rng.choices(candidates, k=count)
+    queries: List[str] = []
+    for set_id in chosen:
+        word = collection.payload(set_id)
+        if modifications:
+            word = apply_modifications(word, modifications, rng)
+        queries.append(word)
+    return QueryWorkload(queries, chosen, bucket, modifications)
+
+
+def all_bucket_workloads(
+    collection: SetCollection,
+    count: int = 100,
+    modifications: int = 0,
+    seed: int = 2008,
+) -> List[QueryWorkload]:
+    """One workload per paper bucket (Figures 6b/7b sweeps)."""
+    out = []
+    for bucket in GRAM_BUCKETS:
+        try:
+            out.append(
+                make_workload(collection, bucket, count, modifications, seed)
+            )
+        except ConfigurationError:
+            continue  # tiny corpora may lack a bucket entirely
+    return out

@@ -1,0 +1,151 @@
+"""Evaluation metrics: ranking quality (Table I) and execution summaries.
+
+``average_precision`` implements the standard IR definition used by the
+SIGMOD'07 benchmark the paper borrows its Table I protocol from: rank the
+database by score, average the precision at the rank of each relevant item
+(relevant items never retrieved contribute 0 through the division by the
+total number of relevant items).
+
+:class:`MeasureRanker` ranks a collection under any
+:class:`~repro.core.similarity.SimilarityMeasure` without scoring the whole
+database per query: an inverted token map finds the sets with non-zero
+overlap (sets sharing no token score 0 under every measure here and are
+ranked last / ignored).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.collection import SetCollection
+from ..core.similarity import SimilarityMeasure
+from ..core.weights import tf_counts
+
+
+def average_precision(
+    ranked_ids: Sequence[int], relevant: Set[int]
+) -> float:
+    """Mean of precision@rank over the relevant items' ranks.
+
+    ``ranked_ids`` is best-first; items absent from it count as never
+    retrieved.  Returns 1.0 by convention when there are no relevant items.
+    """
+    if not relevant:
+        return 1.0
+    hits = 0
+    precision_sum = 0.0
+    for rank, set_id in enumerate(ranked_ids, start=1):
+        if set_id in relevant:
+            hits += 1
+            precision_sum += hits / rank
+    return precision_sum / len(relevant)
+
+
+def precision_at_k(
+    ranked_ids: Sequence[int], relevant: Set[int], k: int
+) -> float:
+    """Fraction of the first k results that are relevant."""
+    if k < 1:
+        return 0.0
+    top = ranked_ids[:k]
+    if not top:
+        return 0.0
+    return sum(1 for i in top if i in relevant) / k
+
+
+def recall_at_k(
+    ranked_ids: Sequence[int], relevant: Set[int], k: int
+) -> float:
+    """Fraction of relevant items among the first k results."""
+    if not relevant:
+        return 1.0
+    return sum(1 for i in ranked_ids[:k] if i in relevant) / len(relevant)
+
+
+def reciprocal_rank(ranked_ids: Sequence[int], relevant: Set[int]) -> float:
+    """1/rank of the first relevant item (0 when never retrieved)."""
+    for rank, set_id in enumerate(ranked_ids, start=1):
+        if set_id in relevant:
+            return 1.0 / rank
+    return 0.0
+
+
+class MeasureRanker:
+    """Rank a collection's sets under a similarity measure, overlap-pruned."""
+
+    def __init__(self, collection: SetCollection) -> None:
+        self.collection = collection
+        self._token_to_ids: Dict[str, List[int]] = {}
+        for rec in collection:
+            for token in rec.tokens:
+                self._token_to_ids.setdefault(token, []).append(rec.set_id)
+
+    def candidates(self, query_tokens: Iterable[str]) -> Set[int]:
+        """Ids of sets sharing at least one token with the query."""
+        out: Set[int] = set()
+        for token in frozenset(query_tokens):
+            out.update(self._token_to_ids.get(token, ()))
+        return out
+
+    def rank(
+        self,
+        query_tokens: Sequence[str],
+        measure: SimilarityMeasure,
+        exclude: Optional[Set[int]] = None,
+        limit: Optional[int] = None,
+    ) -> List[Tuple[int, float]]:
+        """``(set_id, score)`` pairs best-first; zero-overlap sets omitted."""
+        q_counts = tf_counts(list(query_tokens))
+        scored: List[Tuple[int, float]] = []
+        for set_id in self.candidates(q_counts):
+            if exclude and set_id in exclude:
+                continue
+            score = measure.score(q_counts, self.collection[set_id].counts)
+            if score > 0.0:
+                scored.append((set_id, score))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:limit] if limit is not None else scored
+
+
+def pair_metrics(
+    predicted: Iterable[Tuple[int, int]],
+    truth: Iterable[Tuple[int, int]],
+) -> Dict[str, float]:
+    """Precision/recall/F1 of predicted match pairs vs. ground truth.
+
+    Pairs are order-normalized, so ``(a, b)`` and ``(b, a)`` coincide.
+    Empty truth with empty predictions scores a perfect 1.0 across the
+    board (nothing to find, nothing claimed).
+    """
+    norm = lambda pairs: {tuple(sorted(p)) for p in pairs}  # noqa: E731
+    p, t = norm(predicted), norm(truth)
+    tp = len(p & t)
+    precision = tp / len(p) if p else (1.0 if not t else 0.0)
+    recall = tp / len(t) if t else 1.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return {
+        "precision": precision,
+        "recall": recall,
+        "f1": f1,
+        "true_positives": float(tp),
+        "predicted": float(len(p)),
+        "actual": float(len(t)),
+    }
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for empty input (workloads can come up empty)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile, ``fraction`` in [0, 1]."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]

@@ -1,0 +1,120 @@
+"""Terminal-friendly plotting: render benchmark series as ASCII charts.
+
+The paper communicates its evaluation as line charts and bar charts; the
+benchmarks here regenerate the underlying numbers as tables, and this
+module renders those tables as plots a terminal can show — useful in
+``examples/`` and for eyeballing trends without a plotting stack.
+
+Only the two chart shapes the paper uses are provided:
+
+* :func:`line_chart` — one row per x value, one labelled series per
+  engine (Figures 6, 7, 8, 9);
+* :func:`bar_chart` — horizontal bars (Figure 5's index sizes).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["bar_chart", "line_chart", "sparkline"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    unit: str = "",
+    sort: bool = True,
+) -> str:
+    """Horizontal bar chart, longest label aligned, bars scaled to width."""
+    if not values:
+        return "(no data)"
+    items = list(values.items())
+    if sort:
+        items.sort(key=lambda pair: -pair[1])
+    peak = max(v for _, v in items) or 1.0
+    label_width = max(len(k) for k, _ in items)
+    lines = []
+    for label, value in items:
+        filled = value / peak * width
+        whole = int(filled)
+        frac = filled - whole
+        bar = "█" * whole
+        if frac > 0 and whole < width:
+            bar += _BLOCKS[int(frac * (len(_BLOCKS) - 1))]
+        lines.append(
+            f"{label.ljust(label_width)}  {bar.ljust(width)} "
+            f"{value:,.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(series: Sequence[float]) -> str:
+    """One-line trend: ▁▂▃▄▅▆▇█ scaled to the series range."""
+    if not series:
+        return ""
+    lo, hi = min(series), max(series)
+    if hi == lo:
+        return _SPARKS[0] * len(series)
+    scale = (len(_SPARKS) - 1) / (hi - lo)
+    return "".join(_SPARKS[int((v - lo) * scale)] for v in series)
+
+
+def line_chart(
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: Optional[int] = None,
+    y_label: str = "",
+) -> str:
+    """Multi-series line chart on a character grid.
+
+    Each series gets a distinct marker; markers overlapping on the grid
+    show the later series.  X positions are evenly spaced (the paper's
+    sweeps are categorical: thresholds, buckets, edit counts).
+    """
+    markers = "ox*+#@%&"
+    names = list(series)
+    if not names or not x_values:
+        return "(no data)"
+    n = len(x_values)
+    width = width or max(4 * n + 1, 24)
+    all_values = [v for vs in series.values() for v in vs]
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(i: int) -> int:
+        return int(i * (width - 1) / max(n - 1, 1))
+
+    def row(v: float) -> int:
+        return int((hi - v) * (height - 1) / (hi - lo))
+
+    for s_idx, name in enumerate(names):
+        marker = markers[s_idx % len(markers)]
+        values = series[name]
+        for i, v in enumerate(values[:n]):
+            grid[row(v)][col(i)] = marker
+
+    lines = []
+    for r, cells in enumerate(grid):
+        if r == 0:
+            prefix = f"{hi:>10.2f} |"
+        elif r == height - 1:
+            prefix = f"{lo:>10.2f} |"
+        else:
+            prefix = " " * 10 + " |"
+        lines.append(prefix + "".join(cells))
+    lines.append(" " * 11 + "+" + "-" * width)
+    labels = " " * 12 + "  ".join(str(x) for x in x_values)
+    lines.append(labels)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * 12 + legend)
+    if y_label:
+        lines.insert(0, f"{y_label}")
+    return "\n".join(lines)

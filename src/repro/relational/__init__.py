@@ -1,0 +1,28 @@
+"""Mini relational engine + the paper's SQL-based baseline."""
+
+from .engine import (
+    group_sum,
+    hash_join,
+    having,
+    index_range_scan,
+    project,
+    select,
+    table_scan,
+)
+from .sqlbaseline import SqlBaseline
+from .sqlite_backend import SqliteBaseline
+from .table import Schema, Table
+
+__all__ = [
+    "group_sum",
+    "hash_join",
+    "having",
+    "index_range_scan",
+    "project",
+    "select",
+    "table_scan",
+    "SqlBaseline",
+    "SqliteBaseline",
+    "Schema",
+    "Table",
+]

@@ -1,0 +1,88 @@
+"""A tiny iterator-style query executor: scan, seek, filter, group-aggregate.
+
+Just enough relational machinery to run the plan the paper's SQL approach
+executes — ``SELECT id, SUM(weight) FROM qgrams WHERE gram IN (...) AND len
+BETWEEN lo AND hi GROUP BY id HAVING SUM(weight) >= tau`` — over either a
+clustered B+-tree (index plan) or a full table scan (the plan the paper had
+to abort because it "did not terminate in a reasonable amount of time").
+
+Operators are plain generator functions over tuples; they compose the same
+way Volcano-style iterators do, and every physical access charges the shared
+:class:`~repro.storage.pages.IOStats` ledger through the underlying storage
+structures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Tuple
+
+from ..storage.btree import BPlusTree
+from ..storage.pages import IOStats
+from .table import Table
+
+
+def table_scan(table: Table, stats: Optional[IOStats] = None) -> Iterator[tuple]:
+    """Full sequential scan of a relation."""
+    return table.scan(stats)
+
+
+def index_range_scan(
+    index: BPlusTree,
+    lo: Any,
+    hi: Any,
+    stats: Optional[IOStats] = None,
+) -> Iterator[Tuple[Any, Any]]:
+    """Clustered-index range scan: seek + leaf walk."""
+    return index.range_scan(lo, hi, stats)
+
+
+def select(
+    rows: Iterable[tuple], predicate: Callable[[tuple], bool]
+) -> Iterator[tuple]:
+    """Filter (relational selection)."""
+    for row in rows:
+        if predicate(row):
+            yield row
+
+
+def project(
+    rows: Iterable[tuple], positions: Tuple[int, ...]
+) -> Iterator[tuple]:
+    """Projection to a subset of column positions."""
+    for row in rows:
+        yield tuple(row[p] for p in positions)
+
+
+def group_sum(
+    rows: Iterable[tuple],
+    key_position: int,
+    value_position: int,
+) -> Dict[Any, float]:
+    """Hash aggregation: ``SELECT key, SUM(value) ... GROUP BY key``."""
+    acc: Dict[Any, float] = {}
+    for row in rows:
+        key = row[key_position]
+        acc[key] = acc.get(key, 0.0) + row[value_position]
+    return acc
+
+
+def having(
+    groups: Dict[Any, float], predicate: Callable[[float], bool]
+) -> Dict[Any, float]:
+    """HAVING clause over an aggregation result."""
+    return {k: v for k, v in groups.items() if predicate(v)}
+
+
+def hash_join(
+    left: Iterable[tuple],
+    right: Iterable[tuple],
+    left_key: int,
+    right_key: int,
+) -> Iterator[tuple]:
+    """Classic build/probe hash equi-join (build side: ``left``)."""
+    build: Dict[Any, list] = {}
+    for row in left:
+        build.setdefault(row[left_key], []).append(row)
+    for row in right:
+        for match in build.get(row[right_key], ()):
+            yield match + row

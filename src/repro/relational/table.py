@@ -1,0 +1,100 @@
+"""Minimal relational tables in First Normal Form.
+
+The SQL baseline of Section III-A stores the database in two relations:
+
+* the **base table** — one row per word occurrence, carrying the source
+  string and its location (the paper packs row/column/location into an
+  8-byte identifier);
+* the **q-gram table** — one row per (word, gram): ``(id, gram, len,
+  weight)``, where ``len`` is the word's normalized length and ``weight``
+  the query-independent part of the contribution, ``idf(gram)²/len(s)``
+  (dividing by ``len(q)`` at query time completes ``w_i(s)``).
+
+Rows live in a :class:`~repro.storage.pages.PagedFile` so scans charge
+sequential page I/O like every other access path in this package, and table
+sizes come out of the same byte model used for Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.errors import SchemaError
+from ..storage.pages import IOStats, PagedFile
+
+
+class Schema:
+    """Ordered, named, byte-sized columns."""
+
+    def __init__(self, columns: Sequence[Tuple[str, int]]) -> None:
+        if not columns:
+            raise SchemaError("a schema needs at least one column")
+        names = [name for name, _ in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        self.columns = list(columns)
+        self._index = {name: i for i, (name, _) in enumerate(columns)}
+
+    def position(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r}; have {list(self._index)}"
+            ) from None
+
+    @property
+    def names(self) -> List[str]:
+        return [name for name, _ in self.columns]
+
+    def row_bytes(self) -> int:
+        return sum(width for _, width in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{n}:{w}B" for n, w in self.columns)
+        return f"Schema({cols})"
+
+
+class Table:
+    """An append-only 1NF relation over a paged file."""
+
+    def __init__(self, name: str, schema: Schema, page_capacity: int = 128):
+        self.name = name
+        self.schema = schema
+        self._file = PagedFile(schema.row_bytes(), page_capacity)
+
+    def insert(self, row: Sequence[Any]) -> None:
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"row arity {len(row)} != schema arity {len(self.schema)}"
+            )
+        self._file.append(tuple(row))
+
+    def insert_many(self, rows: Sequence[Sequence[Any]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def __len__(self) -> int:
+        return len(self._file)
+
+    def size_bytes(self) -> int:
+        return self._file.size_bytes()
+
+    def scan(self, stats: Optional[IOStats] = None) -> Iterator[tuple]:
+        """Full sequential scan with page accounting."""
+        cursor = self._file.cursor(stats)
+        while not cursor.exhausted():
+            yield cursor.next()
+
+    def rows(self) -> Iterator[tuple]:
+        """Raw iteration without I/O charging (index builds, tests)."""
+        return self._file.records()
+
+    def column(self, name: str) -> int:
+        return self.schema.position(name)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={len(self)})"

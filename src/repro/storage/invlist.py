@@ -1,0 +1,310 @@
+"""Inverted-list index over token sets — the specialized index of Section III-B.
+
+For every token the index keeps:
+
+* a **weight-ordered list** of postings ``(len(s), id(s))`` sorted by
+  increasing ``(length, id)``.  Since ``len(q)`` and ``idf(token)`` are
+  constant within a list, increasing length order *is* decreasing
+  contribution (``w_i``) order — the order TA/NRA-style algorithms need;
+* optionally an **id-ordered list** ``(id(s), len(s))`` for the sort-by-id
+  multiway merge baseline;
+* optionally a :class:`~repro.storage.skiplist.SkipList` over the weight
+  order, so Length Boundedness can seek to ``len >= tau*len(q)`` directly;
+* optionally an :class:`~repro.storage.exthash.ExtendibleHash` from set id
+  to length, giving TA its one-random-I/O containment probes.
+
+All access paths charge a shared :class:`~repro.storage.pages.IOStats`
+ledger, which is how the benchmarks measure pruning power and I/O without
+trusting CPython wall-clock (see the module docstring of
+:mod:`repro.storage.pages`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.collection import SetCollection
+from ..core.errors import IndexNotBuiltError
+from .exthash import ExtendibleHash
+from .pages import DEFAULT_PAGE_CAPACITY, IOStats, PagedFile
+from .skiplist import SkipList
+
+POSTING_BYTES = 16  # 8-byte set id + 8-byte length
+DEFAULT_SKIPLIST_MAX_BYTES = 10 * 1024 * 1024  # the paper's 10 MB cap per list
+DEFAULT_SKIPLIST_STRIDE = 16
+"""Sample every 16th posting into the skip structure.
+
+A disk skip list indexes page boundaries, not individual records; a dense
+skip structure would duplicate the list it indexes (and Figure 5 shows skip
+lists as a *small* overhead).  A seek lands within one stride of the target
+and finishes with a short sequential walk.
+"""
+DEFAULT_HASH_BUCKET_CAPACITY = 16
+
+
+class TokenPostings:
+    """All physical structures for one token's postings."""
+
+    __slots__ = ("token", "weight_file", "id_file", "skip", "hash")
+
+    def __init__(
+        self,
+        token: str,
+        weight_file: PagedFile,
+        id_file: Optional[PagedFile],
+        skip: Optional[SkipList],
+        hash_index: Optional[ExtendibleHash],
+    ) -> None:
+        self.token = token
+        self.weight_file = weight_file
+        self.id_file = id_file
+        self.skip = skip
+        self.hash = hash_index
+
+    def __len__(self) -> int:
+        return len(self.weight_file)
+
+
+class WeightOrderCursor:
+    """Forward cursor over one weight-ordered list, with length seeking.
+
+    Entries are ``(length, set_id)`` tuples in increasing order.  The cursor
+    never moves backwards.  ``seek_length_ge(lo)`` advances to the first
+    entry with ``length >= lo`` — via the skip list (a few jumps plus a short
+    sequential tail, since capped skip lists are thinned) when available and
+    enabled, or by scanning and charging every discarded element otherwise
+    (the NSL mode of Figure 9).
+    """
+
+    __slots__ = ("_postings", "_cursor", "_stats", "_use_skip")
+
+    def __init__(
+        self,
+        postings: TokenPostings,
+        stats: Optional[IOStats],
+        use_skip_list: bool = True,
+    ) -> None:
+        self._postings = postings
+        self._stats = stats
+        self._cursor = postings.weight_file.cursor(stats)
+        self._use_skip = use_skip_list and postings.skip is not None
+
+    # ------------------------------------------------------------------
+    def exhausted(self) -> bool:
+        return self._cursor.exhausted()
+
+    def peek(self) -> Tuple[float, int]:
+        return self._cursor.peek()
+
+    def next(self) -> Tuple[float, int]:
+        return self._cursor.next()
+
+    @property
+    def position(self) -> int:
+        return self._cursor.position
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    @property
+    def token(self) -> str:
+        return self._postings.token
+
+    def seek_length_ge(self, lo: float) -> None:
+        """Advance to the first entry with length >= lo (no-op if already
+        there)."""
+        if self.exhausted():
+            return
+        if self.peek()[0] >= lo:
+            return
+        if self._use_skip:
+            target = self._postings.skip.seek_ge((lo, -1), self._stats)
+            if target > self._cursor.position:
+                self._cursor.jump(target)
+            # Thinned skip lists land at or before the true boundary;
+            # finish with a short sequential walk.
+            while not self.exhausted() and self.peek()[0] < lo:
+                self.next()
+        else:
+            while not self.exhausted() and self.peek()[0] < lo:
+                self.next()
+
+
+class IdOrderCursor:
+    """Forward cursor over one id-ordered list (entries ``(set_id, length)``)."""
+
+    __slots__ = ("_postings", "_cursor", "token")
+
+    def __init__(self, postings: TokenPostings, stats: Optional[IOStats]):
+        if postings.id_file is None:
+            raise IndexNotBuiltError(
+                f"id-ordered list for token {postings.token!r} was not built"
+            )
+        self._postings = postings
+        self.token = postings.token
+        self._cursor = postings.id_file.cursor(stats)
+
+    def exhausted(self) -> bool:
+        return self._cursor.exhausted()
+
+    def peek(self) -> Tuple[int, float]:
+        return self._cursor.peek()
+
+    def next(self) -> Tuple[int, float]:
+        return self._cursor.next()
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+
+class InvertedIndex:
+    """The full per-token index over a frozen :class:`SetCollection`.
+
+    Parameters
+    ----------
+    with_id_lists / with_skip_lists / with_hash_index:
+        Which auxiliary structures to materialize.  The benchmark harness
+        builds all three once and lets individual algorithms opt out at
+        query time; storage-ablation benchmarks build stripped variants.
+    """
+
+    def __init__(
+        self,
+        collection: SetCollection,
+        with_id_lists: bool = True,
+        with_skip_lists: bool = True,
+        with_hash_index: bool = True,
+        page_capacity: int = DEFAULT_PAGE_CAPACITY,
+        skiplist_max_bytes: int = DEFAULT_SKIPLIST_MAX_BYTES,
+        skiplist_stride: int = DEFAULT_SKIPLIST_STRIDE,
+        hash_bucket_capacity: int = DEFAULT_HASH_BUCKET_CAPACITY,
+    ) -> None:
+        if not collection.frozen:
+            raise IndexNotBuiltError("collection must be frozen before indexing")
+        self.collection = collection
+        self.with_id_lists = with_id_lists
+        self.with_skip_lists = with_skip_lists
+        self.with_hash_index = with_hash_index
+        self._postings: Dict[str, TokenPostings] = {}
+        lengths = collection.lengths()
+
+        # Bucket postings per token, then sort each once.
+        per_token: Dict[str, List[Tuple[float, int]]] = {}
+        for rec in collection:
+            length = lengths[rec.set_id]
+            for token in rec.tokens:
+                per_token.setdefault(token, []).append((length, rec.set_id))
+
+        for token, entries in per_token.items():
+            entries.sort()
+            weight_file = PagedFile(POSTING_BYTES, page_capacity)
+            weight_file.extend(entries)
+            id_file = None
+            if with_id_lists:
+                id_file = PagedFile(POSTING_BYTES, page_capacity)
+                id_file.extend(
+                    sorted((sid, ln) for ln, sid in entries)
+                )
+            skip = None
+            if with_skip_lists:
+                skip = SkipList(
+                    entries,
+                    max_bytes=skiplist_max_bytes,
+                    stride=skiplist_stride,
+                )
+            hash_index = None
+            if with_hash_index:
+                hash_index = ExtendibleHash(hash_bucket_capacity)
+                for ln, sid in entries:
+                    hash_index.insert(sid, ln)
+            self._postings[token] = TokenPostings(
+                token, weight_file, id_file, skip, hash_index
+            )
+
+    # ------------------------------------------------------------------
+    # access paths
+    # ------------------------------------------------------------------
+    def __contains__(self, token: str) -> bool:
+        return token in self._postings
+
+    def tokens(self):
+        return self._postings.keys()
+
+    def list_length(self, token: str) -> int:
+        postings = self._postings.get(token)
+        return len(postings) if postings else 0
+
+    def cursor(
+        self,
+        token: str,
+        stats: Optional[IOStats] = None,
+        use_skip_list: bool = True,
+    ) -> Optional[WeightOrderCursor]:
+        """Weight-order cursor for a token, or None for unseen tokens
+        (their lists are empty, so algorithms simply skip them)."""
+        postings = self._postings.get(token)
+        if postings is None:
+            return None
+        return WeightOrderCursor(postings, stats, use_skip_list)
+
+    def id_cursor(
+        self, token: str, stats: Optional[IOStats] = None
+    ) -> Optional[IdOrderCursor]:
+        postings = self._postings.get(token)
+        if postings is None:
+            return None
+        return IdOrderCursor(postings, stats)
+
+    def probe(
+        self, token: str, set_id: int, stats: Optional[IOStats] = None
+    ) -> Optional[float]:
+        """Random-access containment probe: the set's length if it appears
+        in the token's list, else None.  Costs one random I/O (TA's unit)."""
+        postings = self._postings.get(token)
+        if postings is None:
+            return None
+        if postings.hash is None:
+            raise IndexNotBuiltError(
+                "hash index was not built; TA-style algorithms need "
+                "with_hash_index=True"
+            )
+        found, length = postings.hash.probe(set_id, stats)
+        return length if found else None
+
+    # ------------------------------------------------------------------
+    # size accounting (Figure 5)
+    # ------------------------------------------------------------------
+    def size_report(self) -> Dict[str, int]:
+        """Bytes per component, for the index-size benchmark."""
+        weight = sum(p.weight_file.size_bytes() for p in self._postings.values())
+        id_lists = sum(
+            p.id_file.size_bytes()
+            for p in self._postings.values()
+            if p.id_file is not None
+        )
+        skips = sum(
+            p.skip.size_bytes()
+            for p in self._postings.values()
+            if p.skip is not None
+        )
+        hashes = sum(
+            p.hash.size_bytes()
+            for p in self._postings.values()
+            if p.hash is not None
+        )
+        return {
+            "inverted_lists_by_weight": weight,
+            "inverted_lists_by_id": id_lists,
+            "skip_lists": skips,
+            "extendible_hashing": hashes,
+            "total": weight + id_lists + skips + hashes,
+        }
+
+    def num_postings(self) -> int:
+        return sum(len(p) for p in self._postings.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"InvertedIndex(tokens={len(self._postings)}, "
+            f"postings={self.num_postings()})"
+        )

@@ -1,0 +1,196 @@
+"""On-disk persistence for collections and inverted indexes.
+
+The paper's indexes are disk resident and built once; this module gives the
+library the matching lifecycle: build, :func:`save_searcher`, ship, and
+:func:`load_searcher` without re-tokenizing or re-sorting.
+
+Format (a directory):
+
+* ``manifest.json`` — format version, component flags, counts, checksums;
+* ``collection.jsonl`` — one JSON object per set, in id order:
+  ``{"tokens": [...], "counts": {...}, "payload": ...}`` (payloads must be
+  JSON-serializable; anything else raises at save time);
+* ``postings.bin`` — for each token (sorted), the weight-ordered postings
+  as little-endian ``(float64 length, uint64 id)`` pairs, preceded by a
+  length-prefixed UTF-8 token and a ``uint32`` posting count.
+
+Loading reconstructs the :class:`~repro.core.search.SetSimilaritySearcher`
+and verifies the stored postings against the loaded collection's lengths —
+a corrupted or mismatched file fails loudly with :class:`StorageError`
+instead of silently returning wrong scores.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Any, Dict
+
+from ..core.collection import SetCollection
+from ..core.errors import StorageError
+from ..core.search import SetSimilaritySearcher
+
+FORMAT_VERSION = 1
+_POSTING = struct.Struct("<dQ")
+_COUNT = struct.Struct("<I")
+
+
+def save_searcher(searcher: SetSimilaritySearcher, path) -> Dict[str, Any]:
+    """Persist a searcher's collection and index to a directory.
+
+    Returns the manifest that was written.
+    """
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    collection = searcher.collection
+    with open(directory / "collection.jsonl", "w", encoding="utf-8") as fh:
+        for rec in collection:
+            try:
+                line = json.dumps(
+                    {
+                        "tokens": sorted(rec.tokens),
+                        "counts": rec.counts,
+                        "payload": rec.payload,
+                    },
+                    ensure_ascii=False,
+                )
+            except TypeError as exc:
+                raise StorageError(
+                    f"payload of set {rec.set_id} is not JSON-serializable: "
+                    f"{exc}"
+                ) from None
+            fh.write(line + "\n")
+
+    index = searcher.index
+    num_postings = 0
+    with open(directory / "postings.bin", "wb") as fh:
+        for token in sorted(index.tokens()):
+            encoded = token.encode("utf-8")
+            fh.write(_COUNT.pack(len(encoded)))
+            fh.write(encoded)
+            cursor = index.cursor(token)
+            entries = []
+            while not cursor.exhausted():
+                entries.append(cursor.next())
+            fh.write(_COUNT.pack(len(entries)))
+            for length, set_id in entries:
+                fh.write(_POSTING.pack(length, set_id))
+            num_postings += len(entries)
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "num_sets": len(collection),
+        "num_tokens": len(list(index.tokens())),
+        "num_postings": num_postings,
+        "with_id_lists": index.with_id_lists,
+        "with_skip_lists": index.with_skip_lists,
+        "with_hash_index": index.with_hash_index,
+    }
+    (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return manifest
+
+
+def load_searcher(path) -> SetSimilaritySearcher:
+    """Load a searcher persisted by :func:`save_searcher`.
+
+    The collection is restored exactly (ids, counts, payloads); the index
+    is rebuilt from the collection and then *verified* posting-by-posting
+    against ``postings.bin`` — any drift (corruption, version skew, edited
+    files) raises :class:`StorageError`.
+    """
+    directory = Path(path)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise StorageError(f"no manifest.json under {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported format version {manifest.get('format_version')!r}"
+        )
+
+    collection = SetCollection()
+    with open(directory / "collection.jsonl", encoding="utf-8") as fh:
+        for line in fh:
+            record = json.loads(line)
+            tokens = []
+            for token, count in record["counts"].items():
+                tokens.extend([token] * count)
+            collection.add(tokens, payload=record["payload"])
+    collection.freeze()
+    if len(collection) != manifest["num_sets"]:
+        raise StorageError(
+            f"collection.jsonl holds {len(collection)} sets, manifest says "
+            f"{manifest['num_sets']}"
+        )
+
+    searcher = SetSimilaritySearcher(
+        collection,
+        with_id_lists=manifest["with_id_lists"],
+        with_skip_lists=manifest["with_skip_lists"],
+        with_hash_index=manifest["with_hash_index"],
+    )
+    _verify_postings(searcher, directory / "postings.bin", manifest)
+    return searcher
+
+
+def _verify_postings(
+    searcher: SetSimilaritySearcher, path: Path, manifest: Dict[str, Any]
+) -> None:
+    try:
+        _verify_postings_inner(searcher, path, manifest)
+    except (struct.error, UnicodeDecodeError, IndexError) as exc:
+        # Corrupted framing: counts or token bytes no longer parse.
+        raise StorageError(f"postings.bin is corrupt: {exc}") from None
+
+
+def _verify_postings_inner(
+    searcher: SetSimilaritySearcher, path: Path, manifest: Dict[str, Any]
+) -> None:
+    data = path.read_bytes()
+    offset = 0
+    tokens_seen = 0
+    postings_seen = 0
+    index = searcher.index
+    while offset < len(data):
+        (token_len,) = _COUNT.unpack_from(data, offset)
+        offset += _COUNT.size
+        token = data[offset : offset + token_len].decode("utf-8")
+        offset += token_len
+        (count,) = _COUNT.unpack_from(data, offset)
+        offset += _COUNT.size
+        cursor = index.cursor(token)
+        if cursor is None:
+            raise StorageError(
+                f"stored token {token!r} missing from rebuilt index"
+            )
+        for _ in range(count):
+            length, set_id = _POSTING.unpack_from(data, offset)
+            offset += _POSTING.size
+            if cursor.exhausted():
+                raise StorageError(
+                    f"list for {token!r} shorter than stored postings"
+                )
+            got_length, got_id = cursor.next()
+            if got_id != set_id or abs(got_length - length) > 1e-9:
+                raise StorageError(
+                    f"posting mismatch for {token!r}: stored "
+                    f"({length}, {set_id}), rebuilt ({got_length}, {got_id})"
+                )
+        if not cursor.exhausted():
+            raise StorageError(
+                f"list for {token!r} longer than stored postings"
+            )
+        tokens_seen += 1
+        postings_seen += count
+    if tokens_seen != manifest["num_tokens"]:
+        raise StorageError(
+            f"postings.bin holds {tokens_seen} tokens, manifest says "
+            f"{manifest['num_tokens']}"
+        )
+    if postings_seen != manifest["num_postings"]:
+        raise StorageError(
+            f"postings.bin holds {postings_seen} postings, manifest says "
+            f"{manifest['num_postings']}"
+        )

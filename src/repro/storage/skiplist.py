@@ -1,0 +1,151 @@
+"""Skip list over a sorted sequence of keys, used for length seeking.
+
+The paper attaches a skip list to every weight-sorted inverted list so that
+algorithms employing Length Boundedness can jump straight to the first entry
+with normalized length ``>= tau * len(q)`` instead of sequentially scanning
+and discarding a (potentially huge) prefix — Figure 9 measures exactly this
+effect.
+
+The structure here is a *static* skip list built once over the list's
+``(length, set_id)`` keys.  Tower heights are deterministic (the number of
+trailing one-bits of the element's ordinal), which gives the classic
+``O(log n)`` search cost without requiring a random source, keeps rebuilds
+reproducible, and matches the balanced shape a bulk-loaded disk skip list
+would have.  Searches charge one ``skip_jump`` per node visited, and the
+final landing charges one random page read on the target cursor (performed
+by the caller via ``SequentialCursor.jump``).
+
+The paper caps skip lists at 10 MB per inverted list; :class:`SkipList`
+accepts a ``max_bytes`` budget and thins its towers (keeping only every k-th
+tower) when the full structure would exceed it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.errors import StorageError
+from .pages import IOStats
+
+KEY_BYTES = 16  # modelled on-disk size of one (length, id) key
+POINTER_BYTES = 8
+
+
+def _tower_height(ordinal: int) -> int:
+    """Deterministic tower height: trailing one-bits of ``ordinal`` + 1.
+
+    Element 0 gets height 1, element 1 height 2, element 3 height 3, ... —
+    the same geometric height distribution a coin-flip skip list converges
+    to, but reproducible.
+    """
+    height = 1
+    while ordinal & 1:
+        height += 1
+        ordinal >>= 1
+    return height
+
+
+class SkipList:
+    """Static skip index over sorted ``(length, set_id)`` keys.
+
+    ``seek_ge(key)`` returns the position (index into the underlying list)
+    of the first entry whose key is ``>= key``, or ``len`` if none.
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[Tuple[float, int]],
+        max_bytes: Optional[int] = None,
+        stride: int = 1,
+    ) -> None:
+        if stride < 1:
+            raise StorageError("stride must be >= 1")
+        for i in range(1, len(keys)):
+            if keys[i - 1] > keys[i]:
+                raise StorageError(
+                    f"keys must be sorted; violation at position {i}"
+                )
+        self._n = len(keys)
+        self._stride = stride
+        # Thin to satisfy the byte budget: keep every stride-th key.
+        if max_bytes is not None:
+            while self._estimate_bytes(len(keys), stride) > max_bytes and (
+                len(keys) // stride
+            ) > 1:
+                stride *= 2
+            self._stride = stride
+        self._positions: List[int] = list(range(0, len(keys), self._stride))
+        self._keys: List[Tuple[float, int]] = [keys[p] for p in self._positions]
+        # levels[h] holds indices (into self._keys) of towers of height > h.
+        self._levels: List[List[int]] = []
+        if self._keys:
+            max_h = max(_tower_height(i) for i in range(len(self._keys)))
+            self._levels = [[] for _ in range(max_h)]
+            for i in range(len(self._keys)):
+                for h in range(_tower_height(i)):
+                    self._levels[h].append(i)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _estimate_bytes(n_keys: int, stride: int) -> int:
+        kept = max(1, n_keys // stride)
+        # Each kept key stores the key itself plus ~2 pointers on average
+        # (geometric tower heights sum to < 2 per node).
+        return kept * (KEY_BYTES + 2 * POINTER_BYTES)
+
+    def size_bytes(self) -> int:
+        """Modelled on-disk size of the skip structure."""
+        towers = sum(len(level) for level in self._levels)
+        return len(self._keys) * KEY_BYTES + towers * POINTER_BYTES
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def stride(self) -> int:
+        return self._stride
+
+    # ------------------------------------------------------------------
+    def seek_ge(
+        self, key: Tuple[float, int], stats: Optional[IOStats] = None
+    ) -> int:
+        """Position of the first underlying entry with key ``>= key``.
+
+        Descends the tower levels from the top, charging one skip jump per
+        node visited.  Because the structure may be thinned (stride > 1),
+        the returned position is a *lower bound*: the true first matching
+        entry lies at or after it, and the caller finishes with a short
+        sequential scan — exactly how a capped disk skip list behaves.
+        """
+        if not self._keys:
+            return 0
+        # Start before the first kept key; at each level walk right while the
+        # next tower's key is still below the target, then drop a level.
+        idx = -1
+        for level in reversed(self._levels):
+            j = bisect.bisect_right(level, idx)
+            while j < len(level):
+                tower = level[j]
+                if stats is not None:
+                    stats.charge_skip_jump()
+                if self._keys[tower] < key:
+                    idx = tower
+                    j += 1
+                else:
+                    break
+        # idx is the last kept key < target (or -1).  The first entry that
+        # can be >= target sits right after it; with stride 1 this is exact,
+        # with thinning it is a conservative lower bound.
+        if idx < 0:
+            return 0
+        return min(self._positions[idx] + 1, self._n)
+
+    def min_key(self) -> Optional[Tuple[float, int]]:
+        return self._keys[0] if self._keys else None
+
+    def __repr__(self) -> str:
+        return (
+            f"SkipList(n={self._n}, stride={self._stride}, "
+            f"levels={len(self._levels)})"
+        )

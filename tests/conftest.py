@@ -1,0 +1,58 @@
+"""Shared fixtures: small deterministic corpora and searchers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import SetCollection, SetSimilaritySearcher
+from repro.core.tokenize import QGramTokenizer
+from repro.data.synthetic import generate_word_database
+
+
+def random_token_sets(
+    num_sets: int, vocab_size: int, max_size: int, seed: int
+):
+    rng = random.Random(seed)
+    vocab = [f"t{i}" for i in range(vocab_size)]
+    return [
+        rng.sample(vocab, rng.randint(1, max_size)) for _ in range(num_sets)
+    ], vocab
+
+
+@pytest.fixture(scope="session")
+def small_collection():
+    """300 random sets over a 60-token vocabulary (session-cached)."""
+    sets, _vocab = random_token_sets(300, 60, 10, seed=42)
+    return SetCollection.from_token_sets(sets)
+
+
+@pytest.fixture(scope="session")
+def small_vocab():
+    _sets, vocab = random_token_sets(300, 60, 10, seed=42)
+    return vocab
+
+
+@pytest.fixture(scope="session")
+def searcher(small_collection):
+    return SetSimilaritySearcher(small_collection)
+
+
+@pytest.fixture(scope="session")
+def word_database():
+    """A synthetic word-level q-gram database (collection, words)."""
+    return generate_word_database(
+        num_records=600, vocabulary_size=500, seed=11
+    )
+
+
+@pytest.fixture(scope="session")
+def word_searcher(word_database):
+    collection, _words = word_database
+    return SetSimilaritySearcher(collection)
+
+
+@pytest.fixture()
+def qgram3():
+    return QGramTokenizer(q=3)

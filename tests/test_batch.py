@@ -1,0 +1,106 @@
+"""Tests for shared-scan batch selection."""
+
+import random
+
+import pytest
+
+from repro import SetCollection, SetSimilaritySearcher
+from repro.algorithms.batch import BatchSelector
+from repro.core.tokenize import QGramTokenizer
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = random.Random(51)
+    vocab = [f"t{i}" for i in range(30)]
+    sets = [rng.sample(vocab, rng.randint(1, 7)) for _ in range(300)]
+    coll = SetCollection.from_token_sets(sets)
+    return SetSimilaritySearcher(coll), vocab
+
+
+def answers(result):
+    return {(r.set_id, round(r.score, 9)) for r in result.results}
+
+
+class TestBatchCorrectness:
+    @pytest.mark.parametrize("tau", [0.4, 0.7, 0.9, 1.0])
+    def test_each_query_matches_single_query_answers(self, setup, tau):
+        searcher, vocab = setup
+        rng = random.Random(int(tau * 10))
+        queries = [
+            searcher.prepare(rng.sample(vocab, rng.randint(1, 6)))
+            for _ in range(15)
+        ]
+        batch = BatchSelector(searcher.index)
+        results, _stats = batch.search_many(queries, tau)
+        assert len(results) == len(queries)
+        for query, result in zip(queries, results):
+            ref = answers(
+                searcher.search_prepared(query, tau, algorithm="sf")
+            )
+            assert answers(result) == ref
+
+    def test_without_length_bounds(self, setup):
+        searcher, vocab = setup
+        queries = [searcher.prepare(vocab[:4]), searcher.prepare(vocab[2:6])]
+        batch = BatchSelector(searcher.index)
+        bounded, _ = batch.search_many(queries, 0.6)
+        unbounded, _ = batch.search_many(
+            queries, 0.6, use_length_bounds=False
+        )
+        for a, b in zip(bounded, unbounded):
+            assert answers(a) == answers(b)
+
+    def test_empty_batch(self, setup):
+        searcher, _v = setup
+        results, stats = BatchSelector(searcher.index).search_many([], 0.5)
+        assert results == []
+        assert stats.elements_read == 0
+
+    def test_duplicate_queries_share_answers(self, setup):
+        searcher, vocab = setup
+        q = searcher.prepare(vocab[:4])
+        results, _ = BatchSelector(searcher.index).search_many([q, q], 0.5)
+        assert answers(results[0]) == answers(results[1])
+
+
+class TestSharedScanSavings:
+    def test_shared_tokens_read_once(self, setup):
+        searcher, vocab = setup
+        # 10 queries over the SAME tokens: batch reads each list once.
+        q = searcher.prepare(vocab[:5])
+        batch = BatchSelector(searcher.index)
+        _results, shared = batch.search_many([q] * 10, 0.6)
+
+        solo_total = 0
+        for _ in range(10):
+            r = searcher.search_prepared(q, 0.6, algorithm="sort-by-id")
+            solo_total += r.stats.elements_read
+        assert shared.elements_read < solo_total / 3
+
+    def test_disjoint_queries_no_penalty(self, setup):
+        searcher, vocab = setup
+        q1 = searcher.prepare(vocab[:3])
+        q2 = searcher.prepare(vocab[10:13])
+        batch = BatchSelector(searcher.index)
+        _res, stats = batch.search_many([q1, q2], 0.6)
+        # The union window of a single-subscriber token is its own window.
+        single1 = batch.search_many([q1], 0.6)[1].elements_read
+        single2 = batch.search_many([q2], 0.6)[1].elements_read
+        assert stats.elements_read == single1 + single2
+
+
+class TestSearchTexts:
+    def test_none_for_empty_text(self, setup):
+        searcher, _v = setup
+        coll = SetCollection.from_strings(
+            ["alpha beta", "beta gamma"], QGramTokenizer(q=3)
+        )
+        s2 = SetSimilaritySearcher(coll)
+        batch = BatchSelector(s2.index)
+        results, _ = batch.search_texts(
+            QGramTokenizer(q=3), coll.stats, ["alpha beta", ""], 0.6
+        )
+        assert results[0] is not None
+        assert results[1] is None
+        assert 0 in results[0].ids()

@@ -1,0 +1,135 @@
+"""Unit + property tests for the B+-tree."""
+
+import bisect
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import StorageError
+from repro.storage.btree import BPlusTree
+from repro.storage.pages import IOStats
+
+
+def sorted_items(n, seed=0):
+    rng = random.Random(seed)
+    keys = sorted(rng.sample(range(n * 10), n))
+    return [(k, k * 2) for k in keys]
+
+
+class TestBulkLoad:
+    def test_round_trip(self):
+        items = sorted_items(500)
+        tree = BPlusTree.bulk_load(items, order=16)
+        assert len(tree) == 500
+        assert list(tree.items()) == items
+
+    def test_empty(self):
+        tree = BPlusTree.bulk_load([])
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(StorageError):
+            BPlusTree.bulk_load([(2, 0), (1, 0)])
+
+    def test_height_grows_logarithmically(self):
+        small = BPlusTree.bulk_load(sorted_items(50), order=8)
+        large = BPlusTree.bulk_load(sorted_items(5000), order=8)
+        assert large.height > small.height
+        assert large.height <= 6
+
+    def test_order_too_small(self):
+        with pytest.raises(StorageError):
+            BPlusTree(order=2)
+
+
+class TestSeek:
+    def test_hit_and_miss(self):
+        tree = BPlusTree.bulk_load([(1, "a"), (5, "b"), (9, "c")])
+        assert tree.seek(5) == "b"
+        assert tree.seek(4) is None
+
+    def test_seek_charges_inner_levels(self):
+        tree = BPlusTree.bulk_load(sorted_items(5000), order=8)
+        stats = IOStats()
+        tree.seek(sorted_items(5000)[100][0], stats)
+        assert stats.random_pages == tree.height - 1
+
+
+class TestRangeScan:
+    def test_matches_reference(self):
+        items = sorted_items(1000, seed=3)
+        keys = [k for k, _ in items]
+        tree = BPlusTree.bulk_load(items, order=32)
+        lo_key, hi_key = keys[100], keys[500]
+        got = list(tree.range_scan(lo_key, hi_key))
+        lo_i = bisect.bisect_left(keys, lo_key)
+        hi_i = bisect.bisect_right(keys, hi_key)
+        assert got == items[lo_i:hi_i]
+
+    def test_exclusive_upper(self):
+        tree = BPlusTree.bulk_load([(1, "a"), (2, "b"), (3, "c")])
+        got = list(tree.range_scan(1, 3, inclusive=False))
+        assert [k for k, _ in got] == [1, 2]
+
+    def test_empty_range(self):
+        tree = BPlusTree.bulk_load([(1, "a"), (10, "b")])
+        assert list(tree.range_scan(2, 9)) == []
+
+    def test_full_range(self):
+        items = sorted_items(200)
+        tree = BPlusTree.bulk_load(items)
+        got = list(tree.range_scan(-1, 10**9))
+        assert got == items
+
+    def test_composite_tuple_keys(self):
+        items = sorted(
+            ((g, l, i), f"{g}-{i}")
+            for g in ["aa", "bb"]
+            for l in [1.0, 2.0]
+            for i in range(3)
+        )
+        tree = BPlusTree.bulk_load(items, order=4)
+        got = list(tree.range_scan(("bb", 1.0, -1), ("bb", 1.0, 99)))
+        assert [k for k, _ in got] == [("bb", 1.0, 0), ("bb", 1.0, 1), ("bb", 1.0, 2)]
+
+    def test_scan_charges_sequential_leaves(self):
+        items = sorted_items(1000)
+        tree = BPlusTree.bulk_load(items, order=16)
+        stats = IOStats()
+        got = list(tree.range_scan(items[0][0], items[-1][0], stats))
+        assert stats.sequential_pages >= tree.num_leaves
+        assert stats.elements_read == len(got) == 1000
+
+    @given(st.lists(st.integers(0, 500), min_size=0, max_size=200), st.integers(0, 500), st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_range_scan_property(self, raw_keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        keys = sorted(set(raw_keys))
+        tree = BPlusTree.bulk_load([(k, k) for k in keys], order=4)
+        got = [k for k, _ in tree.range_scan(lo, hi)]
+        assert got == [k for k in keys if lo <= k <= hi]
+
+
+class TestPointInsert:
+    def test_insert_then_scan(self):
+        tree = BPlusTree(order=4)
+        values = list(range(100))
+        random.Random(1).shuffle(values)
+        for v in values:
+            tree.insert(v, v)
+        assert [k for k, _ in tree.items()] == list(range(100))
+        assert len(tree) == 100
+
+    def test_insert_into_bulk_loaded(self):
+        tree = BPlusTree.bulk_load([(i * 2, i) for i in range(50)], order=4)
+        tree.insert(5, "odd")
+        assert tree.seek(5) == "odd"
+        keys = [k for k, _ in tree.items()]
+        assert keys == sorted(keys)
+
+    def test_size_bytes_positive(self):
+        tree = BPlusTree.bulk_load(sorted_items(100))
+        assert tree.size_bytes() > 0

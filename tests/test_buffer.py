@@ -1,0 +1,132 @@
+"""Tests for the LRU buffer pool and buffered I/O accounting."""
+
+import random
+
+import pytest
+
+from repro import SetCollection, SetSimilaritySearcher
+from repro.core.errors import ConfigurationError
+from repro.storage.buffer import BufferedIOStats, LRUBufferPool
+
+
+class TestLRUBufferPool:
+    def test_miss_then_hit(self):
+        pool = LRUBufferPool(4)
+        assert pool.access("a") is False
+        assert pool.access("a") is True
+
+    def test_eviction_order(self):
+        pool = LRUBufferPool(2)
+        pool.access("a")
+        pool.access("b")
+        pool.access("a")  # refresh a
+        pool.access("c")  # evicts b
+        assert "a" in pool and "c" in pool and "b" not in pool
+
+    def test_capacity_enforced(self):
+        pool = LRUBufferPool(3)
+        for k in range(10):
+            pool.access(k)
+        assert len(pool) == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            LRUBufferPool(0)
+
+    def test_clear(self):
+        pool = LRUBufferPool(2)
+        pool.access("x")
+        pool.clear()
+        assert "x" not in pool
+
+
+class TestBufferedIOStats:
+    def test_repeat_page_absorbed(self):
+        stats = BufferedIOStats(8)
+        stats.charge_random_page(key=("f", 1))
+        stats.charge_random_page(key=("f", 1))
+        assert stats.random_pages == 1
+        assert stats.buffer_hits == 1
+
+    def test_keyless_charges_always_billed(self):
+        stats = BufferedIOStats(8)
+        stats.charge_random_page()
+        stats.charge_random_page()
+        assert stats.random_pages == 2
+        assert stats.buffer_hits == 0
+
+    def test_sequential_pages_buffered_too(self):
+        stats = BufferedIOStats(8)
+        stats.charge_sequential_page(key=("f", 0))
+        stats.charge_sequential_page(key=("f", 0))
+        assert stats.sequential_pages == 1
+        assert stats.buffer_hits == 1
+
+    def test_eviction_causes_rebill(self):
+        stats = BufferedIOStats(1)
+        stats.charge_random_page(key=("f", 1))
+        stats.charge_random_page(key=("f", 2))  # evicts page 1
+        stats.charge_random_page(key=("f", 1))  # miss again
+        assert stats.random_pages == 3
+
+    def test_snapshot_includes_hits(self):
+        stats = BufferedIOStats(4)
+        stats.charge_random_page(key=("f", 1))
+        stats.charge_random_page(key=("f", 1))
+        assert stats.snapshot()["buffer_hits"] == 1
+
+    def test_reset_clears_pool(self):
+        stats = BufferedIOStats(4)
+        stats.charge_random_page(key=("f", 1))
+        stats.reset()
+        stats.charge_random_page(key=("f", 1))
+        assert stats.random_pages == 1
+        assert stats.buffer_hits == 0
+
+
+class TestBufferedSearch:
+    @pytest.fixture(scope="class")
+    def searcher(self):
+        rng = random.Random(9)
+        vocab = [f"t{i}" for i in range(40)]
+        sets = [rng.sample(vocab, rng.randint(1, 8)) for _ in range(400)]
+        return SetSimilaritySearcher(SetCollection.from_token_sets(sets))
+
+    def test_answers_unchanged(self, searcher):
+        rng = random.Random(10)
+        for _ in range(10):
+            q = rng.sample([f"t{i}" for i in range(40)], 4)
+            cold = searcher.search(q, 0.6, algorithm="ta")
+            warm = searcher.search(
+                q, 0.6, algorithm="ta", buffer_pool_pages=256
+            )
+            assert cold.ids() == warm.ids()
+
+    def test_buffering_reduces_ta_random_io(self, searcher):
+        # The paper's §VIII-A remark: buffering favors TA/iTA.
+        rng = random.Random(11)
+        cold_total = warm_total = hits = 0
+        for _ in range(10):
+            q = rng.sample([f"t{i}" for i in range(40)], 5)
+            cold = searcher.search(q, 0.6, algorithm="ta")
+            warm = searcher.search(
+                q, 0.6, algorithm="ta", buffer_pool_pages=512
+            )
+            cold_total += cold.stats.random_pages
+            warm_total += warm.stats.random_pages
+            hits += warm.stats.buffer_hits
+        assert warm_total < cold_total
+        assert hits > 0
+
+    def test_engine_spec_suffix(self, searcher):
+        from repro.eval.harness import parse_engine_spec
+
+        name, opts = parse_engine_spec("ta-buf256")
+        assert name == "ta"
+        assert opts == {"buffer_pool_pages": 256}
+        name, opts = parse_engine_spec("sf-nlb-buf64")
+        assert name == "sf"
+        assert opts == {
+            "use_length_bounds": False,
+            "buffer_pool_pages": 64,
+        }

@@ -1,0 +1,181 @@
+"""Tests for the command-line interface."""
+
+import io
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def strings_file(tmp_path):
+    path = tmp_path / "strings.txt"
+    path.write_text(
+        "Main Street\nMaine Street\nElm Avenue\nPennsylvania Avenue\n"
+    )
+    return path
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_algorithm_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--index", "x", "--text", "y",
+                 "--algorithm", "bogus"]
+            )
+
+
+class TestIndexAndQuery:
+    def test_index_builds(self, strings_file, tmp_path):
+        code, out = run_cli(
+            ["index", "--input", str(strings_file),
+             "--output", str(tmp_path / "idx")]
+        )
+        assert code == 0
+        assert "indexed 4 strings" in out
+
+    def test_query_finds_match(self, strings_file, tmp_path):
+        run_cli(["index", "--input", str(strings_file),
+                 "--output", str(tmp_path / "idx")])
+        code, out = run_cli(
+            ["query", "--index", str(tmp_path / "idx"),
+             "--text", "Main Stret", "--threshold", "0.5"]
+        )
+        assert code == 0
+        assert "Main Street" in out
+        first_score = float(out.splitlines()[0].split("\t")[0])
+        assert 0.5 <= first_score <= 1.0
+
+    def test_query_empty_tokens(self, strings_file, tmp_path):
+        run_cli(["index", "--input", str(strings_file),
+                 "--output", str(tmp_path / "idx")])
+        code, _ = run_cli(
+            ["query", "--index", str(tmp_path / "idx"), "--text", ""]
+        )
+        assert code == 2
+
+    def test_topk(self, strings_file, tmp_path):
+        run_cli(["index", "--input", str(strings_file),
+                 "--output", str(tmp_path / "idx")])
+        code, out = run_cli(
+            ["topk", "--index", str(tmp_path / "idx"),
+             "--text", "Avenue", "-k", "2"]
+        )
+        assert code == 0
+        assert len(out.strip().splitlines()) == 2
+
+    def test_info(self, strings_file, tmp_path):
+        run_cli(["index", "--input", str(strings_file),
+                 "--output", str(tmp_path / "idx")])
+        code, out = run_cli(["info", "--index", str(tmp_path / "idx")])
+        assert code == 0
+        assert "sets:        4" in out
+
+    def test_custom_q_round_trips(self, strings_file, tmp_path):
+        # The query command must tokenize with the q the index was built
+        # with (a 4-gram index probed with 3-grams finds nothing).
+        run_cli(["index", "--input", str(strings_file),
+                 "--output", str(tmp_path / "q4"), "--q", "4"])
+        code, out = run_cli(
+            ["query", "--index", str(tmp_path / "q4"),
+             "--text", "Main Street", "--threshold", "0.9"]
+        )
+        assert code == 0
+        assert "Main Street" in out
+
+    def test_lean_index(self, strings_file, tmp_path):
+        code, _ = run_cli(
+            ["index", "--input", str(strings_file),
+             "--output", str(tmp_path / "lean"), "--lean"]
+        )
+        assert code == 0
+        code, out = run_cli(
+            ["query", "--index", str(tmp_path / "lean"),
+             "--text", "Elm Avenue", "--threshold", "0.8"]
+        )
+        assert code == 0
+        assert "Elm Avenue" in out
+
+    def test_empty_input_file(self, tmp_path):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("\n\n")
+        code, _ = run_cli(
+            ["index", "--input", str(empty),
+             "--output", str(tmp_path / "idx")]
+        )
+        assert code == 2
+
+    def test_missing_index_dir(self, tmp_path):
+        code, _ = run_cli(
+            ["query", "--index", str(tmp_path / "nope"), "--text", "x"]
+        )
+        assert code == 1
+
+
+class TestDedupe:
+    def test_groups_duplicates(self, tmp_path):
+        path = tmp_path / "dirty.txt"
+        path.write_text(
+            "Acme Corporation\nAcme Corporation\nAcme Corporatoin\n"
+            "Globex Inc\nTotally Different LLC\n"
+        )
+        code, out = run_cli(
+            ["dedupe", "--input", str(path), "--threshold", "0.55"]
+        )
+        assert code == 0
+        assert "group 1 (3 records)" in out
+        assert "Totally Different LLC" not in out.split("groups")[0]
+
+    def test_empty_input(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("\n")
+        code, _ = run_cli(["dedupe", "--input", str(path)])
+        assert code == 2
+
+    def test_min_size(self, tmp_path):
+        path = tmp_path / "dirty.txt"
+        path.write_text("aaa bbb\naaa bbb\nccc ddd\n")
+        code, out = run_cli(
+            ["dedupe", "--input", str(path), "--min-size", "3"]
+        )
+        assert code == 0
+        assert "0 duplicate groups" in out
+
+
+class TestBench:
+    def test_bench_prints_table(self):
+        code, out = run_cli(
+            ["bench", "--records", "300", "--queries", "3", "--tau", "0.8"]
+        )
+        assert code == 0
+        assert "engine" in out
+        assert "sf" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m(self, strings_file, tmp_path):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "index",
+             "--input", str(strings_file),
+             "--output", str(tmp_path / "idx")],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0
+        assert "indexed 4 strings" in result.stdout

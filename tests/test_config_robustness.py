@@ -1,0 +1,118 @@
+"""Configuration fuzzing: answers must be invariant to storage tuning.
+
+Page capacity, skip-list stride, hash bucket capacity and B-tree order are
+*performance* knobs; none of them may change what a selection returns.
+These tests sweep them (including degenerate extremes) against the same
+query set and demand identical answers.
+"""
+
+import random
+
+import pytest
+
+from repro import SetCollection, SetSimilaritySearcher
+from repro.relational.sqlbaseline import SqlBaseline
+from repro.storage.invlist import InvertedIndex
+
+
+@pytest.fixture(scope="module")
+def base():
+    rng = random.Random(77)
+    vocab = [f"t{i}" for i in range(35)]
+    sets = [rng.sample(vocab, rng.randint(1, 8)) for _ in range(250)]
+    coll = SetCollection.from_token_sets(sets)
+    queries = [rng.sample(vocab, rng.randint(1, 6)) for _ in range(12)]
+    reference = SetSimilaritySearcher(coll)
+    expected = {
+        (tuple(q), tau): {
+            (r.set_id, round(r.score, 9))
+            for r in reference.brute_force(q, tau)
+        }
+        for q in queries
+        for tau in (0.4, 0.8, 1.0)
+    }
+    return coll, queries, expected
+
+
+def check_searcher(searcher, queries, expected, algorithms=("sf", "inra")):
+    for q in queries:
+        for tau in (0.4, 0.8, 1.0):
+            for algo in algorithms:
+                got = {
+                    (r.set_id, round(r.score, 9))
+                    for r in searcher.search(q, tau, algorithm=algo).results
+                }
+                assert got == expected[(tuple(q), tau)], (algo, tau, q)
+
+
+class TestStorageKnobs:
+    @pytest.mark.parametrize("page_capacity", [1, 2, 7, 1024])
+    def test_page_capacity_irrelevant_to_answers(
+        self, base, page_capacity
+    ):
+        coll, queries, expected = base
+        searcher = SetSimilaritySearcher(coll, page_capacity=page_capacity)
+        check_searcher(searcher, queries, expected)
+
+    @pytest.mark.parametrize("stride", [1, 2, 5, 100])
+    def test_skiplist_stride_irrelevant(self, base, stride):
+        coll, queries, expected = base
+        searcher = SetSimilaritySearcher(coll, skiplist_stride=stride)
+        check_searcher(searcher, queries, expected)
+
+    @pytest.mark.parametrize("bucket_capacity", [1, 3, 256])
+    def test_hash_bucket_capacity_irrelevant(self, base, bucket_capacity):
+        coll, queries, expected = base
+        searcher = SetSimilaritySearcher(
+            coll, hash_bucket_capacity=bucket_capacity
+        )
+        check_searcher(searcher, queries, expected, algorithms=("ta", "ita"))
+
+    @pytest.mark.parametrize("max_bytes", [64, 4096])
+    def test_skiplist_byte_cap_irrelevant(self, base, max_bytes):
+        coll, queries, expected = base
+        searcher = SetSimilaritySearcher(coll, skiplist_max_bytes=max_bytes)
+        check_searcher(searcher, queries, expected)
+
+    @pytest.mark.parametrize("order", [4, 8, 200])
+    def test_btree_order_irrelevant_to_sql(self, base, order):
+        coll, queries, expected = base
+        reference = SetSimilaritySearcher(coll)
+        sql = SqlBaseline(coll, btree_order=order)
+        for q in queries:
+            for tau in (0.4, 0.8, 1.0):
+                pq = reference.prepare(q)
+                got = {
+                    (r.set_id, round(r.score, 9))
+                    for r in sql.search(pq, tau).results
+                }
+                assert got == expected[(tuple(q), tau)]
+
+    @pytest.mark.parametrize("pool", [1, 16, 10_000])
+    def test_buffer_pool_irrelevant_to_answers(self, base, pool):
+        coll, queries, expected = base
+        searcher = SetSimilaritySearcher(coll)
+        for q in queries:
+            got = {
+                (r.set_id, round(r.score, 9))
+                for r in searcher.search(
+                    q, 0.8, algorithm="ta", buffer_pool_pages=pool
+                ).results
+            }
+            assert got == expected[(tuple(q), 0.8)]
+
+
+class TestCombinedExtremes:
+    def test_everything_degenerate_at_once(self, base):
+        coll, queries, expected = base
+        searcher = SetSimilaritySearcher(
+            coll,
+            page_capacity=1,
+            skiplist_stride=100,
+            hash_bucket_capacity=1,
+        )
+        check_searcher(
+            searcher, queries, expected,
+            algorithms=("sf", "inra", "ita", "hybrid", "ta", "nra",
+                        "sort-by-id"),
+        )

@@ -1,0 +1,158 @@
+"""Tests for the edit-distance q-gram filter baseline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.editdistance import EditDistanceSearcher, levenshtein
+from repro.core.errors import ConfigurationError
+from repro.storage.pages import IOStats
+
+
+def reference_levenshtein(a: str, b: str) -> int:
+    """Plain full-matrix DP, for cross-checking the banded version."""
+    m, n = len(a), len(b)
+    dp = [[0] * (n + 1) for _ in range(m + 1)]
+    for i in range(m + 1):
+        dp[i][0] = i
+    for j in range(n + 1):
+        dp[0][j] = j
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            dp[i][j] = min(
+                dp[i - 1][j] + 1,
+                dp[i][j - 1] + 1,
+                dp[i - 1][j - 1] + (a[i - 1] != b[j - 1]),
+            )
+    return dp[m][n]
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,d",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("same", "same", 0),
+            ("abc", "cba", 2),
+        ],
+    )
+    def test_known_values(self, a, b, d):
+        assert levenshtein(a, b) == d
+
+    def test_symmetric(self):
+        assert levenshtein("street", "straet") == levenshtein(
+            "straet", "street"
+        )
+
+    def test_band_exact_within_bound(self):
+        assert levenshtein("kitten", "sitting", max_distance=3) == 3
+
+    def test_band_cutoff_beyond_bound(self):
+        assert levenshtein("aaaa", "zzzz", max_distance=2) == 3
+
+    def test_band_length_quick_reject(self):
+        assert levenshtein("a", "abcdefgh", max_distance=2) == 3
+
+    @given(st.text(alphabet="abcd", max_size=12),
+           st.text(alphabet="abcd", max_size=12))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_reference(self, a, b):
+        assert levenshtein(a, b) == reference_levenshtein(a, b)
+
+    @given(st.text(alphabet="abc", max_size=10),
+           st.text(alphabet="abc", max_size=10),
+           st.integers(0, 5))
+    @settings(max_examples=150, deadline=None)
+    def test_banded_consistent(self, a, b, k):
+        true = reference_levenshtein(a, b)
+        banded = levenshtein(a, b, max_distance=k)
+        if true <= k:
+            assert banded == true
+        else:
+            assert banded > k
+
+
+class TestEditDistanceSearcher:
+    WORDS = [
+        "street", "stret", "straight", "strait", "stream",
+        "main", "maine", "mane", "avenue", "avenu",
+    ]
+
+    @pytest.fixture(scope="class")
+    def searcher(self):
+        return EditDistanceSearcher(self.WORDS, q=3)
+
+    def test_exact_match_k0(self, searcher):
+        assert searcher.search("street", 0) == [("street", 0)]
+
+    def test_k1_finds_single_edits(self, searcher):
+        hits = dict(searcher.search("street", 1))
+        assert hits["street"] == 0
+        assert hits["stret"] == 1
+        assert "straight" not in hits
+
+    def test_results_nearest_first(self, searcher):
+        results = searcher.search("maine", 2)
+        distances = [d for _, d in results]
+        assert distances == sorted(distances)
+
+    def test_matches_brute_force(self, searcher):
+        rng = random.Random(4)
+        for _ in range(30):
+            base = rng.choice(self.WORDS)
+            # random perturbation as query
+            chars = list(base)
+            for _ in range(rng.randint(0, 2)):
+                if chars and rng.random() < 0.5:
+                    chars.pop(rng.randrange(len(chars)))
+                else:
+                    chars.insert(
+                        rng.randrange(len(chars) + 1), rng.choice("abest")
+                    )
+            query = "".join(chars)
+            for k in (0, 1, 2, 3):
+                got = set(searcher.search(query, k))
+                ref = {
+                    (w, levenshtein(query, w))
+                    for w in self.WORDS
+                    if levenshtein(query, w) <= k
+                }
+                assert got == ref, (query, k)
+
+    def test_filter_is_selective(self):
+        words = [f"word{i:04d}" for i in range(500)] + ["completely-other"]
+        s = EditDistanceSearcher(words, q=3)
+        verified, total = s.candidates_checked("word0001", 1)
+        assert verified < total  # the count filter pruned something
+
+    def test_stats_charged(self, searcher):
+        stats = IOStats()
+        searcher.search("street", 1, stats=stats)
+        assert stats.elements_read > 0
+
+    def test_negative_k_rejected(self, searcher):
+        with pytest.raises(ConfigurationError):
+            searcher.search("x", -1)
+
+    def test_invalid_q(self):
+        with pytest.raises(ConfigurationError):
+            EditDistanceSearcher(["a"], q=0)
+
+    @given(
+        st.lists(st.text(alphabet="abcde", min_size=1, max_size=8),
+                 min_size=1, max_size=20),
+        st.text(alphabet="abcde", min_size=1, max_size=8),
+        st.integers(0, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_completeness_property(self, words, query, k):
+        s = EditDistanceSearcher(words, q=2)
+        got = {w for w, _ in s.search(query, k)}
+        expected = {w for w in words if reference_levenshtein(query, w) <= k}
+        assert got == expected

@@ -1,0 +1,48 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "data_cleaning.py",
+        "movie_search.py",
+        "algorithm_tour.py",
+        "similarity_measures.py",
+        "incremental_pipeline.py",
+    } <= names
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=lambda p: p.name
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_shows_agreement():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True, text=True, timeout=120,
+    )
+    # All seven algorithms print the same answer line.
+    lines = [
+        l for l in result.stdout.splitlines() if "set4" in l and "set1" in l
+    ]
+    assert len(lines) == 7

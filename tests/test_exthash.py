@@ -1,0 +1,121 @@
+"""Unit + property tests for extendible hashing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import StorageError
+from repro.storage.exthash import ExtendibleHash
+from repro.storage.pages import IOStats
+
+
+class TestBasics:
+    def test_insert_and_probe(self):
+        h = ExtendibleHash(bucket_capacity=4)
+        h.insert(10, "a")
+        found, value = h.probe(10)
+        assert found and value == "a"
+
+    def test_probe_missing(self):
+        h = ExtendibleHash()
+        found, value = h.probe(99)
+        assert not found and value is None
+
+    def test_overwrite(self):
+        h = ExtendibleHash()
+        h.insert(1, "x")
+        h.insert(1, "y")
+        assert h.get(1) == "y"
+        assert len(h) == 1
+
+    def test_get_missing_raises(self):
+        h = ExtendibleHash()
+        with pytest.raises(KeyError):
+            h.get(5)
+
+    def test_contains(self):
+        h = ExtendibleHash()
+        h.insert(3, None)
+        assert 3 in h
+        assert 4 not in h
+
+    def test_invalid_capacity(self):
+        with pytest.raises(StorageError):
+            ExtendibleHash(bucket_capacity=0)
+
+
+class TestSplitting:
+    def test_directory_doubles_under_load(self):
+        h = ExtendibleHash(bucket_capacity=2)
+        for i in range(100):
+            h.insert(i, i)
+        assert h.global_depth > 1
+        assert h.num_buckets > 2
+        for i in range(100):
+            assert h.get(i) == i
+
+    def test_load_factor_reasonable(self):
+        h = ExtendibleHash(bucket_capacity=8)
+        for i in range(1000):
+            h.insert(i, i)
+        assert 0.2 < h.load_factor() <= 1.0
+
+    def test_size_counts_full_buckets(self):
+        h = ExtendibleHash(bucket_capacity=4)
+        h.insert(1, 1)
+        # One entry still pays for whole bucket pages + directory.
+        assert h.size_bytes() >= 4 * 16
+
+
+class TestProbeCost:
+    def test_exactly_one_random_io_per_probe(self):
+        h = ExtendibleHash(bucket_capacity=2)
+        for i in range(50):
+            h.insert(i, i)
+        stats = IOStats()
+        h.probe(25, stats)
+        h.probe(9999, stats)  # miss also costs one I/O
+        assert stats.random_pages == 2
+        assert stats.hash_probes == 2
+
+
+class TestAgainstDict:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10_000), st.integers(-50, 50)),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dict_semantics(self, pairs):
+        h = ExtendibleHash(bucket_capacity=3)
+        reference = {}
+        for k, v in pairs:
+            h.insert(k, v)
+            reference[k] = v
+        assert len(h) == len(reference)
+        for k, v in reference.items():
+            assert h.get(k) == v
+        for k in range(10_001, 10_010):
+            assert (k in h) == (k in reference)
+
+    def test_large_random_workload(self):
+        rng = random.Random(7)
+        h = ExtendibleHash(bucket_capacity=8)
+        reference = {}
+        for _ in range(5000):
+            k = rng.randrange(100_000)
+            v = rng.random()
+            h.insert(k, v)
+            reference[k] = v
+        misses = 0
+        for k in rng.sample(range(100_000), 500):
+            found, value = h.probe(k)
+            assert found == (k in reference)
+            if found:
+                assert value == reference[k]
+            else:
+                misses += 1
+        assert misses > 0  # the sample actually exercised the miss path

@@ -1,0 +1,170 @@
+"""Unit tests for the inverted-list index."""
+
+import pytest
+
+from repro.core.collection import SetCollection
+from repro.core.errors import IndexNotBuiltError
+from repro.storage.invlist import InvertedIndex
+from repro.storage.pages import IOStats
+
+
+@pytest.fixture()
+def coll():
+    return SetCollection.from_token_sets(
+        [
+            ["a"],               # 0: short set, short length
+            ["a", "b"],          # 1
+            ["a", "b", "c"],     # 2
+            ["b", "c", "d"],     # 3
+            ["a", "b", "c", "d"],# 4: longest
+        ]
+    )
+
+
+@pytest.fixture()
+def index(coll):
+    return InvertedIndex(coll)
+
+
+class TestBuild:
+    def test_tokens_present(self, index):
+        assert set(index.tokens()) == {"a", "b", "c", "d"}
+
+    def test_list_lengths(self, index):
+        assert index.list_length("a") == 4
+        assert index.list_length("d") == 2
+        assert index.list_length("zzz") == 0
+
+    def test_num_postings(self, index, coll):
+        assert index.num_postings() == sum(len(r) for r in coll)
+
+    def test_requires_frozen(self):
+        c = SetCollection()
+        c.add(["a"])
+        with pytest.raises(IndexNotBuiltError):
+            InvertedIndex(c)
+
+    def test_contains(self, index):
+        assert "a" in index
+        assert "nope" not in index
+
+
+class TestWeightOrderCursor:
+    def test_sorted_by_length_then_id(self, index, coll):
+        cursor = index.cursor("a")
+        entries = []
+        while not cursor.exhausted():
+            entries.append(cursor.next())
+        assert entries == sorted(entries)
+        # Increasing length == decreasing contribution.
+        lengths = [ln for ln, _ in entries]
+        assert lengths == sorted(lengths)
+
+    def test_ids_match_collection(self, index, coll):
+        cursor = index.cursor("d")
+        ids = set()
+        while not cursor.exhausted():
+            _, sid = cursor.next()
+            ids.add(sid)
+        assert ids == {3, 4}
+
+    def test_lengths_match_collection(self, index, coll):
+        cursor = index.cursor("b")
+        while not cursor.exhausted():
+            length, sid = cursor.next()
+            assert length == pytest.approx(coll.length(sid))
+
+    def test_missing_token_returns_none(self, index):
+        assert index.cursor("zzz") is None
+
+    def test_seek_with_skip_list(self, index, coll):
+        stats = IOStats()
+        cursor = index.cursor("a", stats, use_skip_list=True)
+        target = coll.length(2)  # somewhere in the middle
+        cursor.seek_length_ge(target)
+        length, _ = cursor.peek()
+        assert length >= target
+
+    def test_seek_without_skip_list_charges_elements(self, coll):
+        idx = InvertedIndex(coll, with_skip_lists=False)
+        stats = IOStats()
+        cursor = idx.cursor("a", stats, use_skip_list=False)
+        cursor.seek_length_ge(coll.length(4))
+        assert stats.elements_read > 0  # scan-and-discard paid per element
+
+    def test_seek_to_zero_is_noop(self, index):
+        stats = IOStats()
+        cursor = index.cursor("a", stats)
+        cursor.seek_length_ge(0.0)
+        assert cursor.position == 0
+
+    def test_seek_past_end_exhausts(self, index):
+        cursor = index.cursor("a")
+        cursor.seek_length_ge(1e9)
+        assert cursor.exhausted()
+
+
+class TestIdOrderCursor:
+    def test_sorted_by_id(self, index):
+        cursor = index.id_cursor("b")
+        ids = []
+        while not cursor.exhausted():
+            sid, _ = cursor.next()
+            ids.append(sid)
+        assert ids == sorted(ids) == [1, 2, 3, 4]
+
+    def test_disabled_raises(self, coll):
+        idx = InvertedIndex(coll, with_id_lists=False)
+        with pytest.raises(IndexNotBuiltError):
+            idx.id_cursor("a")
+
+    def test_len(self, index):
+        assert len(index.id_cursor("a")) == 4
+
+
+class TestProbe:
+    def test_hit_returns_length(self, index, coll):
+        assert index.probe("a", 2) == pytest.approx(coll.length(2))
+
+    def test_miss_returns_none(self, index):
+        assert index.probe("d", 0) is None
+
+    def test_unknown_token_none(self, index):
+        assert index.probe("zzz", 0) is None
+
+    def test_probe_charges_one_random_io(self, index):
+        stats = IOStats()
+        index.probe("a", 2, stats)
+        assert stats.random_pages == 1
+        assert stats.hash_probes == 1
+
+    def test_disabled_raises(self, coll):
+        idx = InvertedIndex(coll, with_hash_index=False)
+        with pytest.raises(IndexNotBuiltError):
+            idx.probe("a", 0)
+
+
+class TestSizeReport:
+    def test_components(self, index):
+        report = index.size_report()
+        assert report["inverted_lists_by_weight"] > 0
+        assert report["inverted_lists_by_id"] > 0
+        assert report["skip_lists"] > 0
+        assert report["extendible_hashing"] > 0
+        assert report["total"] == sum(
+            v for k, v in report.items() if k != "total"
+        )
+
+    def test_stripped_index_smaller(self, coll):
+        full = InvertedIndex(coll).size_report()["total"]
+        lean = InvertedIndex(
+            coll,
+            with_id_lists=False,
+            with_hash_index=False,
+        ).size_report()["total"]
+        assert lean < full
+
+    def test_hashing_dominates(self, coll):
+        # The paper's Figure 5 point: extendible hashing is the heavy part.
+        report = InvertedIndex(coll).size_report()
+        assert report["extendible_hashing"] > report["skip_lists"]

@@ -1,0 +1,191 @@
+"""Tests for the similarity self-join and clustering."""
+
+import random
+
+import pytest
+
+from repro import SetCollection, SetSimilaritySearcher
+from repro.core.join import (
+    JoinPair,
+    UnionFind,
+    brute_force_self_join,
+    similarity_clusters,
+    similarity_self_join,
+)
+
+
+def pair_set(pairs):
+    return {(p.a, p.b, round(p.score, 9)) for p in pairs}
+
+
+class TestJoinPair:
+    def test_normalized_order(self):
+        p = JoinPair(5, 2, 0.8)
+        assert (p.a, p.b) == (2, 5)
+
+    def test_equality_ignores_score(self):
+        assert JoinPair(1, 2, 0.5) == JoinPair(2, 1, 0.9)
+
+    def test_hashable(self):
+        assert len({JoinPair(1, 2, 0.5), JoinPair(2, 1, 0.7)}) == 1
+
+    def test_iterable(self):
+        a, b, score = JoinPair(3, 1, 0.6)
+        assert (a, b, score) == (1, 3, 0.6)
+
+
+class TestSelfJoin:
+    @pytest.mark.parametrize("tau", [0.3, 0.6, 0.9, 1.0])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_brute_force(self, tau, seed):
+        rng = random.Random(seed)
+        vocab = [f"t{i}" for i in range(25)]
+        sets = [rng.sample(vocab, rng.randint(1, 6)) for _ in range(80)]
+        coll = SetCollection.from_token_sets(sets)
+        searcher = SetSimilaritySearcher(coll)
+        got = pair_set(similarity_self_join(searcher, tau).pairs)
+        ref = pair_set(brute_force_self_join(coll, tau))
+        assert got == ref
+
+    def test_each_pair_once(self):
+        coll = SetCollection.from_token_sets([["x", "y"]] * 4)
+        searcher = SetSimilaritySearcher(coll)
+        join = similarity_self_join(searcher, 0.9)
+        assert len(join) == 6  # C(4, 2)
+        assert len(set(join.pairs)) == 6
+
+    def test_empty_sets_skipped(self):
+        coll = SetCollection()
+        coll.add(["a", "b"])
+        coll.add([])
+        coll.add(["a", "b"])
+        coll.freeze()
+        searcher = SetSimilaritySearcher(coll)
+        join = similarity_self_join(searcher, 0.9)
+        assert join.as_edges() == [(0, 2)]
+
+    def test_no_pairs_above_one(self):
+        coll = SetCollection.from_token_sets([["a"], ["b"], ["c"]])
+        searcher = SetSimilaritySearcher(coll)
+        assert len(similarity_self_join(searcher, 0.5)) == 0
+
+    def test_stats_aggregated(self):
+        coll = SetCollection.from_token_sets(
+            [["a", "b"], ["a", "b"], ["b", "c"]]
+        )
+        searcher = SetSimilaritySearcher(coll)
+        join = similarity_self_join(searcher, 0.5)
+        assert join.stats.elements_read > 0
+        assert join.wall_seconds > 0
+
+    def test_length_floor_halves_reads(self):
+        # The join passes each probe's own length as the window floor;
+        # an unfloored run must read strictly more.
+        import random as _random
+
+        from repro.algorithms import make_algorithm
+        from repro.core.query import PreparedQuery
+
+        rng = _random.Random(31)
+        vocab = [f"t{i}" for i in range(30)]
+        sets = [rng.sample(vocab, rng.randint(1, 7)) for _ in range(200)]
+        coll = SetCollection.from_token_sets(sets)
+        searcher = SetSimilaritySearcher(coll)
+        floored = unfloored = 0
+        for set_id in range(0, 200, 10):
+            rec = coll[set_id]
+            query = PreparedQuery(sorted(rec.tokens), coll.stats)
+            a = make_algorithm("sf", searcher.index).search(
+                query, 0.7, length_floor=coll.length(set_id)
+            )
+            b = make_algorithm("sf", searcher.index).search(query, 0.7)
+            floored += a.stats.elements_read
+            unfloored += b.stats.elements_read
+            # Floored answers are exactly the unfloored ones at >= floor.
+            expected = {
+                r.set_id for r in b.results
+                if coll.length(r.set_id) >= coll.length(set_id)
+            }
+            assert set(a.ids()) == expected
+        assert floored < unfloored
+
+    def test_length_floor_filtered_for_unwindowed_algorithms(self):
+        # Classic NRA ignores the window while scanning; the base class
+        # must still enforce the floor on its results.
+        coll = SetCollection.from_token_sets(
+            [["a"], ["a", "b"], ["a", "b", "c"]]
+        )
+        searcher = SetSimilaritySearcher(coll)
+        from repro.algorithms import make_algorithm
+        from repro.core.query import PreparedQuery
+
+        query = PreparedQuery(["a", "b"], coll.stats)
+        floor = coll.length(1)
+        for algo in ("nra", "sort-by-id", "ta", "sf"):
+            r = make_algorithm(algo, searcher.index).search(
+                query, 0.2, length_floor=floor
+            )
+            assert all(
+                coll.length(sid) >= floor for sid in r.ids()
+            ), algo
+            assert 0 not in r.ids(), algo  # the short set is below floor
+
+    def test_algorithm_choice_equivalent(self):
+        rng = random.Random(5)
+        vocab = [f"t{i}" for i in range(20)]
+        sets = [rng.sample(vocab, rng.randint(1, 5)) for _ in range(50)]
+        coll = SetCollection.from_token_sets(sets)
+        searcher = SetSimilaritySearcher(coll)
+        a = pair_set(similarity_self_join(searcher, 0.6, "sf").pairs)
+        b = pair_set(similarity_self_join(searcher, 0.6, "inra").pairs)
+        assert a == b
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1)
+        assert uf.union(1, 2)
+        assert not uf.union(0, 2)  # already connected
+        assert uf.find(0) == uf.find(2)
+        assert uf.find(3) != uf.find(0)
+
+    def test_path_compression_keeps_roots_stable(self):
+        uf = UnionFind(100)
+        for i in range(99):
+            uf.union(i, i + 1)
+        root = uf.find(0)
+        assert all(uf.find(i) == root for i in range(100))
+
+
+class TestClusters:
+    def test_transitive_grouping(self):
+        # a~b and b~c but a!~c: one cluster of three via the chain.
+        coll = SetCollection.from_token_sets(
+            [
+                ["a", "b", "c"],
+                ["b", "c", "d"],
+                ["c", "d", "e"],
+                ["x", "y"],
+            ]
+        )
+        searcher = SetSimilaritySearcher(coll)
+        clusters = similarity_clusters(searcher, 0.5)
+        assert [0, 1, 2] in clusters
+        assert all(3 not in c for c in clusters)
+
+    def test_min_size_filter(self):
+        coll = SetCollection.from_token_sets(
+            [["a", "b"], ["a", "b"], ["q", "r"]]
+        )
+        searcher = SetSimilaritySearcher(coll)
+        clusters = similarity_clusters(searcher, 0.9, min_size=2)
+        assert clusters == [[0, 1]]
+
+    def test_largest_first(self):
+        coll = SetCollection.from_token_sets(
+            [["a", "b"]] * 3 + [["x", "y"]] * 2
+        )
+        searcher = SetSimilaritySearcher(coll)
+        clusters = similarity_clusters(searcher, 0.9)
+        assert [len(c) for c in clusters] == [3, 2]

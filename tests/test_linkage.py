@@ -1,0 +1,133 @@
+"""Tests for multi-field record linkage (FieldedMatcher)."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.linkage import FieldedMatcher
+
+
+RECORDS = [
+    {"name": "jonathan smithers", "city": "boston"},
+    {"name": "jonathon smithers", "city": "bostn"},
+    {"name": "jonathan smith", "city": "chicago"},
+    {"name": "mary watson", "city": "boston"},
+    {"name": "mary watson", "city": "new york"},
+    {"name": "elizabeth warren", "city": ""},
+]
+
+WEIGHTS = {"name": 0.7, "city": 0.3}
+
+
+@pytest.fixture(scope="module")
+def matcher():
+    return FieldedMatcher(RECORDS, WEIGHTS)
+
+
+def ids(matches):
+    return [(m.record_id, round(m.score, 9)) for m in matches]
+
+
+class TestConstruction:
+    def test_weights_normalized(self, matcher):
+        assert sum(matcher.weights.values()) == pytest.approx(1.0)
+        assert matcher.weights["name"] == pytest.approx(0.7)
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FieldedMatcher(RECORDS, {})
+
+    def test_non_positive_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FieldedMatcher(RECORDS, {"name": 0.0})
+
+    def test_unnormalized_weights_accepted(self):
+        m = FieldedMatcher(RECORDS, {"name": 7, "city": 3})
+        assert m.weights["city"] == pytest.approx(0.3)
+
+
+class TestMatching:
+    def test_exact_record_scores_one(self, matcher):
+        matches = matcher.match(RECORDS[0], 0.95)
+        assert matches[0].record_id == 0
+        assert matches[0].score == pytest.approx(1.0)
+
+    def test_matches_brute_force(self, matcher):
+        queries = [
+            {"name": "jonathan smithers", "city": "boston"},
+            {"name": "jonathan smitters", "city": "bostan"},
+            {"name": "mary watson", "city": "boston"},
+            {"name": "marie watson", "city": ""},
+            {"name": "someone else", "city": "boston"},
+        ]
+        for q in queries:
+            for tau in (0.2, 0.4, 0.6, 0.9):
+                got = ids(matcher.match(q, tau))
+                ref = ids(matcher.brute_force(q, tau))
+                assert got == ref, (q, tau)
+
+    def test_low_threshold_catches_single_field_matches(self, matcher):
+        # City-only agreement must surface at a threshold below the city
+        # weight (the completeness case the naive bound misses).
+        q = {"name": "zzz qqq xxx", "city": "boston"}
+        got = ids(matcher.match(q, 0.25))
+        ref = ids(matcher.brute_force(q, 0.25))
+        assert got == ref
+        assert any(rid in (0, 3) for rid, _ in got)
+
+    def test_per_field_breakdown(self, matcher):
+        matches = matcher.match(
+            {"name": "jonathan smithers", "city": "chicago"}, 0.3
+        )
+        best = matches[0]
+        assert set(best.per_field) == {"name", "city"}
+        combined = sum(
+            matcher.weights[f] * s for f, s in best.per_field.items()
+        )
+        assert best.score == pytest.approx(combined)
+
+    def test_missing_query_field(self, matcher):
+        got = ids(matcher.match({"name": "mary watson"}, 0.3))
+        ref = ids(matcher.brute_force({"name": "mary watson"}, 0.3))
+        assert got == ref
+
+    def test_max_candidates(self, matcher):
+        matches = matcher.match(
+            {"name": "jonathan smithers", "city": "boston"}, 0.1,
+            max_candidates=2,
+        )
+        assert len(matches) == 2
+
+    def test_field_weighting_effects(self):
+        # Same records, opposite weights: the ranking flips.
+        heavy_name = FieldedMatcher(RECORDS, {"name": 0.9, "city": 0.1})
+        heavy_city = FieldedMatcher(RECORDS, {"name": 0.1, "city": 0.9})
+        q = {"name": "mary watson", "city": "new york"}
+        top_name = heavy_name.match(q, 0.2)[0]
+        top_city = heavy_city.match(q, 0.2)[0]
+        assert top_name.record_id in (3, 4)
+        assert top_city.record_id == 4  # the new-york mary wins on city
+
+
+class TestRandomized:
+    def test_differential_against_brute_force(self):
+        rng = random.Random(8)
+        words = ["alpha", "beta", "gamma", "delta", "epsln", "zeta"]
+        records = [
+            {
+                "a": " ".join(rng.sample(words, 2)),
+                "b": rng.choice(words),
+            }
+            for _ in range(60)
+        ]
+        matcher = FieldedMatcher(records, {"a": 0.6, "b": 0.4})
+        for _ in range(25):
+            q = {
+                "a": " ".join(rng.sample(words, 2)),
+                "b": rng.choice(words),
+            }
+            tau = rng.choice([0.2, 0.35, 0.5, 0.8])
+            assert ids(matcher.match(q, tau)) == ids(
+                matcher.brute_force(q, tau)
+            ), (q, tau)

@@ -1,0 +1,122 @@
+"""Tests for the user-data loaders."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.tokenize import WordTokenizer
+from repro.data.loaders import (
+    dump_token_sets,
+    iter_lines,
+    load_delimited,
+    load_lines,
+    load_token_sets,
+)
+
+
+class TestLoadLines:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "strings.txt"
+        path.write_text("Main Street\n\nElm Avenue\n")
+        coll = load_lines(path)
+        assert len(coll) == 2
+        assert coll.payload(0) == "Main Street"
+        assert coll.frozen
+
+    def test_limit(self, tmp_path):
+        path = tmp_path / "strings.txt"
+        path.write_text("a\nb\nc\n")
+        assert len(load_lines(path, limit=2)) == 2
+
+    def test_custom_tokenizer(self, tmp_path):
+        path = tmp_path / "strings.txt"
+        path.write_text("alpha beta\n")
+        coll = load_lines(path, tokenizer=WordTokenizer())
+        assert coll[0].tokens == frozenset({"alpha", "beta"})
+
+    def test_iter_lines_skips_blank(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("a\n   \nb\n")
+        assert list(iter_lines(path)) == ["a", "b"]
+
+
+class TestLoadDelimited:
+    CSV = "id,name,city\n1,Jon Smith,Boston\n2,Jane Doe,Chicago\n"
+
+    def test_by_column_name(self, tmp_path):
+        path = tmp_path / "people.csv"
+        path.write_text(self.CSV)
+        coll = load_delimited(path, text_column="name")
+        assert len(coll) == 2
+        assert coll.payload(0) == "Jon Smith"
+
+    def test_payload_column(self, tmp_path):
+        path = tmp_path / "people.csv"
+        path.write_text(self.CSV)
+        coll = load_delimited(
+            path, text_column="name", payload_column="id"
+        )
+        assert coll.payload(1) == "2"
+
+    def test_by_index_without_header(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("x,hello there\ny,more text\n")
+        coll = load_delimited(path, text_column=1, has_header=False)
+        assert len(coll) == 2
+        assert coll.payload(0) == "hello there"
+
+    def test_tsv(self, tmp_path):
+        path = tmp_path / "data.tsv"
+        path.write_text("name\tcity\nJon\tNYC\n")
+        coll = load_delimited(path, text_column="name", delimiter="\t")
+        assert coll.payload(0) == "Jon"
+
+    def test_unknown_column(self, tmp_path):
+        path = tmp_path / "people.csv"
+        path.write_text(self.CSV)
+        with pytest.raises(ConfigurationError):
+            load_delimited(path, text_column="nope")
+
+    def test_name_without_header_rejected(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(ConfigurationError):
+            load_delimited(path, text_column="a", has_header=False)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ConfigurationError):
+            load_delimited(path, text_column="a")
+
+    def test_ragged_rows_skipped(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,full row\nshort\n2,another\n")
+        coll = load_delimited(path, text_column="b")
+        assert len(coll) == 2
+
+    def test_limit(self, tmp_path):
+        path = tmp_path / "people.csv"
+        path.write_text(self.CSV)
+        assert len(load_delimited(path, text_column="name", limit=1)) == 1
+
+
+class TestTokenSets:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "sets.txt"
+        path.write_text("a b c\nb d\n")
+        coll = load_token_sets(path)
+        assert coll[0].tokens == frozenset({"a", "b", "c"})
+        out = tmp_path / "dump.txt"
+        n = dump_token_sets(coll, out)
+        assert n == 2
+        reloaded = load_token_sets(out)
+        assert list(reloaded.token_sets()) == list(coll.token_sets())
+
+    def test_searchable_end_to_end(self, tmp_path):
+        from repro import SetSimilaritySearcher
+
+        path = tmp_path / "sets.txt"
+        path.write_text("a b\na b c\nx y\n")
+        coll = load_token_sets(path)
+        searcher = SetSimilaritySearcher(coll)
+        assert 0 in searcher.search(["a", "b"], 0.9).ids()

@@ -1,0 +1,98 @@
+"""Tests for the ASCII plotting helpers and the report builder."""
+
+import pytest
+
+from repro.eval.plots import bar_chart, line_chart, sparkline
+from repro.eval.report import SECTIONS, build_report, coverage, write_report
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        chart = bar_chart({"a": 100.0, "b": 50.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].startswith("a")
+        assert lines[0].count("█") == 10
+        assert 4 <= lines[1].count("█") <= 5
+
+    def test_sorted_descending_by_default(self):
+        chart = bar_chart({"small": 1.0, "big": 9.0})
+        assert chart.splitlines()[0].startswith("big")
+
+    def test_unsorted_preserves_order(self):
+        chart = bar_chart({"small": 1.0, "big": 9.0}, sort=False)
+        assert chart.splitlines()[0].startswith("small")
+
+    def test_unit_suffix(self):
+        assert "KB" in bar_chart({"x": 3.0}, unit="KB")
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_zero_values_ok(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in chart and "b" in chart
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        s = sparkline([1, 2, 3, 4])
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = line_chart(
+            [0.6, 0.7, 0.8],
+            {"sf": [3.0, 2.0, 1.0], "nra": [3.0, 3.0, 3.0]},
+        )
+        assert "o sf" in chart
+        assert "x nra" in chart
+        assert "o" in chart.splitlines()[0] or "o" in chart
+
+    def test_axis_labels(self):
+        chart = line_chart([1, 2], {"a": [0.0, 10.0]}, height=5)
+        assert "10.00" in chart
+        assert "0.00" in chart
+
+    def test_y_label(self):
+        chart = line_chart([1], {"a": [1.0]}, y_label="seconds")
+        assert chart.splitlines()[0] == "seconds"
+
+    def test_empty(self):
+        assert line_chart([], {}) == "(no data)"
+
+    def test_single_point(self):
+        chart = line_chart([1], {"a": [2.5]})
+        assert "a" in chart
+
+
+class TestReport:
+    def test_build_with_results(self, tmp_path):
+        (tmp_path / "table1_precision.txt").write_text("dataset IDF\ncu1 0.3")
+        report = build_report(tmp_path)
+        assert "# Reproduction report" in report
+        assert "Table I" in report
+        assert "cu1 0.3" in report
+        assert "missing" in report  # other sections absent
+
+    def test_write_report(self, tmp_path):
+        out = write_report(tmp_path, tmp_path / "report.md", title="T")
+        assert out.exists()
+        assert out.read_text().startswith("# T")
+
+    def test_coverage(self, tmp_path):
+        (tmp_path / "fig5_index_size.txt").write_text("x")
+        cov = coverage(tmp_path)
+        assert cov["fig5_index_size.txt"] is True
+        assert cov["table1_precision.txt"] is False
+        assert set(cov) == {name for name, _h, _c in SECTIONS}
+
+    def test_all_sections_have_headings(self):
+        for _name, heading, _claim in SECTIONS:
+            assert heading

@@ -1,0 +1,108 @@
+"""Tests for the prefix-filter selection baseline (Section IX related work)."""
+
+import random
+
+import pytest
+
+from repro import SetCollection, SetSimilaritySearcher
+from repro.algorithms.prefixfilter import PrefixFilterSearcher
+from repro.core.errors import ConfigurationError, EmptyQueryError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = random.Random(41)
+    vocab = [f"t{i}" for i in range(30)]
+    sets = [rng.sample(vocab, rng.randint(1, 7)) for _ in range(250)]
+    coll = SetCollection.from_token_sets(sets)
+    return (
+        SetSimilaritySearcher(coll),
+        PrefixFilterSearcher(coll, tau_min=0.5),
+        vocab,
+    )
+
+
+def answers(results):
+    return {(r.set_id, round(r.score, 9)) for r in results}
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("tau", [0.5, 0.7, 0.9, 1.0])
+    def test_matches_brute_force(self, setup, tau):
+        searcher, pf, vocab = setup
+        rng = random.Random(int(tau * 100))
+        for _ in range(12):
+            q = rng.sample(vocab, rng.randint(1, 6))
+            got = answers(pf.search(q, tau).results)
+            ref = answers(searcher.brute_force(q, tau))
+            assert got == ref, (tau, q)
+
+    def test_exact_match_found_at_tau_one(self, setup):
+        searcher, _pf, _v = setup
+        pf1 = PrefixFilterSearcher(searcher.collection, tau_min=1.0)
+        rec = searcher.collection[7]
+        result = pf1.search(sorted(rec.tokens), 1.0)
+        assert 7 in result.ids()
+
+    def test_below_tau_min_rejected(self, setup):
+        _s, pf, vocab = setup
+        with pytest.raises(ConfigurationError):
+            pf.search([vocab[0]], 0.3)
+
+    def test_empty_query_rejected(self, setup):
+        _s, pf, _v = setup
+        with pytest.raises(EmptyQueryError):
+            pf.search([], 0.6)
+
+    def test_unseen_tokens_ok(self, setup):
+        searcher, pf, vocab = setup
+        q = [vocab[0], "zz-unknown"]
+        assert answers(pf.search(q, 0.5).results) == answers(
+            searcher.brute_force(q, 0.5)
+        )
+
+    def test_randomized_collections(self):
+        rng = random.Random(9)
+        for trial in range(5):
+            vocab = [f"v{i}" for i in range(15)]
+            sets = [
+                rng.sample(vocab, rng.randint(1, 5)) for _ in range(60)
+            ]
+            coll = SetCollection.from_token_sets(sets)
+            searcher = SetSimilaritySearcher(coll)
+            pf = PrefixFilterSearcher(coll, tau_min=0.6)
+            for tau in (0.6, 0.85, 1.0):
+                q = rng.sample(vocab, rng.randint(1, 4))
+                assert answers(pf.search(q, tau).results) == answers(
+                    searcher.brute_force(q, tau)
+                ), (trial, tau, q)
+
+
+class TestIndexShape:
+    def test_prefix_index_smaller_than_full(self, setup):
+        searcher, pf, _v = setup
+        full = searcher.index.num_postings()
+        assert pf.index_postings() < full
+
+    def test_higher_tau_min_means_smaller_index(self, setup):
+        searcher, _pf, _v = setup
+        loose = PrefixFilterSearcher(searcher.collection, tau_min=0.5)
+        tight = PrefixFilterSearcher(searcher.collection, tau_min=0.9)
+        assert tight.index_postings() <= loose.index_postings()
+
+    def test_invalid_tau_min(self, setup):
+        searcher, _pf, _v = setup
+        with pytest.raises(Exception):
+            PrefixFilterSearcher(searcher.collection, tau_min=0.0)
+
+    def test_unfrozen_rejected(self):
+        coll = SetCollection()
+        coll.add(["a"])
+        with pytest.raises(ConfigurationError):
+            PrefixFilterSearcher(coll)
+
+    def test_result_metadata(self, setup):
+        _s, pf, vocab = setup
+        result = pf.search(vocab[:3], 0.7)
+        assert result.algorithm == "prefix-filter"
+        assert result.peak_candidates >= len(result)

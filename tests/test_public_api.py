@@ -1,0 +1,50 @@
+"""The public API surface: everything exported exists and works."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPackageExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.storage",
+            "repro.algorithms",
+            "repro.relational",
+            "repro.data",
+            "repro.eval",
+            "repro.cli",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_headline_workflow_from_root_imports_only(self):
+        from repro import SetCollection, SetSimilaritySearcher
+
+        coll = SetCollection.from_token_sets([["a", "b"], ["b", "c"]])
+        searcher = SetSimilaritySearcher(coll)
+        assert searcher.search(["a", "b"], 0.9).ids() == [0]
+
+    def test_algorithms_registry_matches_exports(self):
+        assert set(repro.algorithm_names()) == {
+            "sort-by-id", "nra", "ta", "inra", "ita", "sf", "hybrid",
+        }
+
+    def test_py_typed_marker_shipped(self):
+        from pathlib import Path
+
+        assert (Path(repro.__file__).parent / "py.typed").exists()

@@ -1,0 +1,105 @@
+"""Unit tests for PreparedQuery."""
+
+import math
+
+import pytest
+
+from repro.core.errors import EmptyQueryError
+from repro.core.query import PreparedQuery, prepare
+from repro.core.weights import IdfStatistics
+
+
+@pytest.fixture()
+def stats():
+    sets = [
+        {"common", "rare"},
+        {"common", "mid"},
+        {"common", "mid"},
+        {"common"},
+    ]
+    return IdfStatistics.from_sets(sets)
+
+
+class TestPreparedQuery:
+    def test_tokens_sorted_by_decreasing_idf(self, stats):
+        q = PreparedQuery(["common", "rare", "mid"], stats)
+        assert list(q.tokens) == ["rare", "mid", "common"]
+        assert list(q.idf_squared) == sorted(q.idf_squared, reverse=True)
+
+    def test_duplicates_collapsed(self, stats):
+        q = PreparedQuery(["rare", "rare", "common"], stats)
+        assert len(q) == 2
+
+    def test_length_matches_stats(self, stats):
+        tokens = ["rare", "common"]
+        q = PreparedQuery(tokens, stats)
+        assert q.length == pytest.approx(stats.length(tokens))
+
+    def test_empty_query_rejected(self, stats):
+        with pytest.raises(EmptyQueryError):
+            PreparedQuery([], stats)
+
+    def test_token_index_and_contains(self, stats):
+        q = PreparedQuery(["rare", "common"], stats)
+        assert q.token_index("rare") == 0
+        assert "common" in q
+        assert "mid" not in q
+
+    def test_source_tokens_preserved(self, stats):
+        q = PreparedQuery(["common", "rare", "common"], stats)
+        assert q.source_tokens == ("common", "rare", "common")
+
+    def test_tie_broken_deterministically(self, stats):
+        # 'x' and 'y' both unseen -> same idf; order by token string.
+        q = PreparedQuery(["y", "x"], stats)
+        assert list(q.tokens) == ["x", "y"]
+
+    def test_prepare_alias(self, stats):
+        assert prepare(["rare"], stats).tokens == ("rare",)
+
+
+class TestQueryMath:
+    def test_bounds_delegate_to_theorem(self, stats):
+        q = PreparedQuery(["rare", "common"], stats)
+        lo, hi = q.bounds(0.5)
+        assert lo == pytest.approx(0.5 * q.length)
+        assert hi == pytest.approx(q.length / 0.5)
+
+    def test_cutoffs_align_with_token_order(self, stats):
+        q = PreparedQuery(["common", "rare", "mid"], stats)
+        lam = q.cutoffs(0.8)
+        assert len(lam) == 3
+        assert lam[0] >= lam[1] >= lam[2]
+        expected_last = q.idf_squared[2] / (0.8 * q.length)
+        assert lam[2] == pytest.approx(expected_last)
+
+    def test_contribution_formula(self, stats):
+        q = PreparedQuery(["rare", "common"], stats)
+        slen = 2.5
+        assert q.contribution(0, slen) == pytest.approx(
+            q.idf_squared[0] / (slen * q.length)
+        )
+
+    def test_contribution_zero_guard(self, stats):
+        q = PreparedQuery(["rare"], stats)
+        assert q.contribution(0, 0.0) == 0.0
+
+    def test_max_unseen_score(self, stats):
+        q = PreparedQuery(["rare", "mid", "common"], stats)
+        slen = 2.0
+        expected = (q.idf_squared[0] + q.idf_squared[2]) / (slen * q.length)
+        assert q.max_unseen_score(slen, [0, 2]) == pytest.approx(expected)
+
+    def test_perfect_score_length(self, stats):
+        q = PreparedQuery(["rare"], stats)
+        assert q.perfect_score_length() == pytest.approx(q.length)
+
+    def test_self_similarity_via_contributions(self, stats):
+        # Summing a set's own contributions over all its tokens gives 1.0
+        # when the set equals the query.
+        tokens = ["rare", "common"]
+        q = PreparedQuery(tokens, stats)
+        total = sum(
+            q.contribution(i, q.length) for i in range(len(tokens))
+        )
+        assert total == pytest.approx(1.0)

@@ -1,0 +1,193 @@
+"""Tests for the mini relational engine and the SQL baseline."""
+
+import random
+
+import pytest
+
+from repro import SetCollection, SetSimilaritySearcher
+from repro.core.errors import IndexNotBuiltError, SchemaError
+from repro.relational.engine import (
+    group_sum,
+    hash_join,
+    having,
+    project,
+    select,
+    table_scan,
+)
+from repro.relational.sqlbaseline import SqlBaseline
+from repro.relational.table import Schema, Table
+from repro.storage.pages import IOStats
+
+
+class TestSchema:
+    def test_positions(self):
+        s = Schema([("id", 8), ("name", 16)])
+        assert s.position("id") == 0
+        assert s.position("name") == 1
+        assert s.names == ["id", "name"]
+
+    def test_row_bytes(self):
+        assert Schema([("a", 8), ("b", 4)]).row_bytes() == 12
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([("a", 8), ("a", 8)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError):
+            Schema([("a", 8)]).position("b")
+
+
+class TestTable:
+    def _table(self):
+        t = Table("t", Schema([("id", 8), ("v", 8)]))
+        t.insert_many([(i, i * 10) for i in range(20)])
+        return t
+
+    def test_insert_and_len(self):
+        assert len(self._table()) == 20
+
+    def test_arity_checked(self):
+        t = Table("t", Schema([("id", 8)]))
+        with pytest.raises(SchemaError):
+            t.insert((1, 2))
+
+    def test_scan_charges_pages(self):
+        t = self._table()
+        stats = IOStats()
+        rows = list(t.scan(stats))
+        assert len(rows) == 20
+        assert stats.sequential_pages >= 1
+        assert stats.elements_read == 20
+
+    def test_size_bytes(self):
+        assert self._table().size_bytes() > 0
+
+    def test_column_lookup(self):
+        assert self._table().column("v") == 1
+
+
+class TestOperators:
+    ROWS = [(1, "a", 10.0), (2, "b", 20.0), (1, "c", 5.0)]
+
+    def test_select(self):
+        assert list(select(self.ROWS, lambda r: r[0] == 1)) == [
+            (1, "a", 10.0), (1, "c", 5.0),
+        ]
+
+    def test_project(self):
+        assert list(project(self.ROWS, (2, 0))) == [
+            (10.0, 1), (20.0, 2), (5.0, 1),
+        ]
+
+    def test_group_sum(self):
+        groups = group_sum(self.ROWS, key_position=0, value_position=2)
+        assert groups == {1: 15.0, 2: 20.0}
+
+    def test_having(self):
+        groups = {1: 15.0, 2: 20.0}
+        assert having(groups, lambda v: v > 16) == {2: 20.0}
+
+    def test_hash_join(self):
+        left = [(1, "x"), (2, "y")]
+        right = [(10, 1), (20, 1), (30, 3)]
+        joined = sorted(hash_join(left, right, left_key=0, right_key=1))
+        assert joined == [(1, "x", 10, 1), (1, "x", 20, 1)]
+
+
+@pytest.fixture(scope="module")
+def sql_setup():
+    rng = random.Random(17)
+    vocab = [f"g{i}" for i in range(35)]
+    sets = [rng.sample(vocab, rng.randint(1, 7)) for _ in range(180)]
+    coll = SetCollection.from_token_sets(sets)
+    return (
+        SetSimilaritySearcher(coll),
+        SqlBaseline(coll),
+        coll,
+        vocab,
+    )
+
+
+class TestSqlBaseline:
+    def test_matches_brute_force(self, sql_setup):
+        searcher, sql, coll, vocab = sql_setup
+        rng = random.Random(4)
+        for tau in (0.4, 0.7, 0.9, 1.0):
+            for _ in range(8):
+                q = rng.sample(vocab, rng.randint(1, 5))
+                pq = searcher.prepare(q)
+                got = {
+                    (r.set_id, round(r.score, 9))
+                    for r in sql.search(pq, tau).results
+                }
+                ref = {
+                    (r.set_id, round(r.score, 9))
+                    for r in searcher.brute_force(q, tau)
+                }
+                assert got == ref
+
+    def test_nlb_variant_matches_too(self, sql_setup):
+        searcher, _sql, coll, vocab = sql_setup
+        sql_nlb = SqlBaseline(coll, use_length_bounds=False)
+        q = vocab[:4]
+        pq = searcher.prepare(q)
+        got = {r.set_id for r in sql_nlb.search(pq, 0.5).results}
+        ref = {r.set_id for r in searcher.brute_force(q, 0.5)}
+        assert got == ref
+        assert sql_nlb.search(pq, 0.5).algorithm == "sql-nlb"
+
+    def test_scan_plan_matches(self, sql_setup):
+        searcher, _sql, coll, vocab = sql_setup
+        sql_scan = SqlBaseline(coll, use_index=False)
+        q = vocab[:3]
+        pq = searcher.prepare(q)
+        got = {r.set_id for r in sql_scan.search(pq, 0.6).results}
+        ref = {r.set_id for r in searcher.brute_force(q, 0.6)}
+        assert got == ref
+
+    def test_length_predicate_reduces_elements(self, sql_setup):
+        searcher, sql, coll, vocab = sql_setup
+        sql_nlb = SqlBaseline(coll, use_length_bounds=False)
+        rng = random.Random(8)
+        q = rng.sample(vocab, 4)
+        pq = searcher.prepare(q)
+        with_lb = sql.search(pq, 0.9).stats.elements_read
+        without = sql_nlb.search(pq, 0.9).stats.elements_read
+        assert with_lb <= without
+
+    def test_scan_plan_reads_whole_table(self, sql_setup):
+        searcher, _sql, coll, vocab = sql_setup
+        sql_scan = SqlBaseline(coll, use_index=False)
+        pq = searcher.prepare(vocab[:2])
+        r = sql_scan.search(pq, 0.8)
+        assert r.stats.elements_read == len(sql_scan.qgram_table)
+
+    def test_size_report(self, sql_setup):
+        _searcher, sql, coll, _vocab = sql_setup
+        report = sql.size_report()
+        assert report["qgram_table"] > report["base_table"]
+        assert report["total"] == (
+            report["base_table"] + report["qgram_table"] + report["btree"]
+        )
+
+    def test_qgram_table_row_per_token(self, sql_setup):
+        _s, sql, coll, _v = sql_setup
+        assert len(sql.qgram_table) == sum(len(r.tokens) for r in coll)
+
+    def test_requires_frozen(self):
+        c = SetCollection()
+        c.add(["a"])
+        with pytest.raises(IndexNotBuiltError):
+            SqlBaseline(c)
+
+    def test_unseen_query_token_ok(self, sql_setup):
+        searcher, sql, _c, vocab = sql_setup
+        pq = searcher.prepare([vocab[0], "unknown-gram"])
+        got = {r.set_id for r in sql.search(pq, 0.3).results}
+        ref = {r.set_id for r in searcher.brute_force([vocab[0], "unknown-gram"], 0.3)}
+        assert got == ref

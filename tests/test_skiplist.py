@@ -1,0 +1,118 @@
+"""Unit + property tests for the static skip list."""
+
+import bisect
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import StorageError
+from repro.storage.pages import IOStats
+from repro.storage.skiplist import SkipList, _tower_height
+
+
+def make_keys(n, seed=0):
+    rng = random.Random(seed)
+    keys = sorted(
+        (round(rng.uniform(0, 100), 3), i) for i in range(n)
+    )
+    return keys
+
+
+class TestTowerHeights:
+    def test_deterministic(self):
+        assert _tower_height(0) == 1
+        assert _tower_height(1) == 2
+        assert _tower_height(3) == 3
+        assert _tower_height(7) == 4
+
+    def test_geometric_distribution(self):
+        heights = [_tower_height(i) for i in range(1024)]
+        assert sum(1 for h in heights if h >= 2) == 512
+        assert sum(1 for h in heights if h >= 3) == 256
+
+
+class TestSeek:
+    def test_seek_matches_bisect(self):
+        keys = make_keys(500)
+        sl = SkipList(keys)
+        for probe in [(-1.0, 0), (50.0, -1), (100.5, 0), keys[42], keys[499]]:
+            expected = bisect.bisect_left(keys, probe)
+            got = sl.seek_ge(probe)
+            # Exact (stride 1) skip lists land exactly.
+            assert got == expected
+
+    def test_seek_empty(self):
+        sl = SkipList([])
+        assert sl.seek_ge((1.0, 0)) == 0
+
+    def test_seek_before_first(self):
+        keys = make_keys(10)
+        sl = SkipList(keys)
+        assert sl.seek_ge((-5.0, 0)) == 0
+
+    def test_seek_past_last(self):
+        keys = make_keys(10)
+        sl = SkipList(keys)
+        pos = sl.seek_ge((1e9, 0))
+        assert pos >= len(keys) - 1  # at/after last kept key
+
+    def test_seek_charges_jumps(self):
+        keys = make_keys(200)
+        sl = SkipList(keys)
+        stats = IOStats()
+        sl.seek_ge(keys[150], stats)
+        assert stats.skip_jumps > 0
+        # O(log n): far fewer jumps than a linear scan.
+        assert stats.skip_jumps < 100
+
+    @given(st.integers(min_value=0, max_value=300), st.integers(0, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_seek_is_lower_bound_property(self, n, seed):
+        keys = make_keys(n, seed)
+        sl = SkipList(keys)
+        rng = random.Random(seed + 999)
+        probe = (round(rng.uniform(-10, 110), 3), rng.randrange(1000))
+        pos = sl.seek_ge(probe)
+        expected = bisect.bisect_left(keys, probe)
+        # Never overshoots; with stride 1 it is exact.
+        assert pos <= expected
+        assert pos == expected
+
+
+class TestThinning:
+    def test_stride_grows_under_budget(self):
+        keys = make_keys(10_000)
+        full = SkipList(keys)
+        capped = SkipList(keys, max_bytes=full.size_bytes() // 8)
+        assert capped.stride > 1
+        assert capped.size_bytes() < full.size_bytes()
+
+    def test_thinned_seek_is_conservative(self):
+        keys = make_keys(5_000)
+        capped = SkipList(keys, max_bytes=4096)
+        for probe in [keys[17], keys[1234], keys[4999], (200.0, 0)]:
+            pos = capped.seek_ge(probe)
+            expected = bisect.bisect_left(keys, probe)
+            assert pos <= expected  # lands at or before the true boundary
+            # And within one stride of it.
+            assert expected - pos <= capped.stride
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(StorageError):
+            SkipList([(2.0, 0), (1.0, 1)])
+
+    def test_invalid_stride(self):
+        with pytest.raises(StorageError):
+            SkipList([], stride=0)
+
+    def test_min_key(self):
+        keys = make_keys(5)
+        assert SkipList(keys).min_key() == keys[0]
+        assert SkipList([]).min_key() is None
+
+    def test_len_reports_underlying(self):
+        keys = make_keys(100)
+        sl = SkipList(keys, max_bytes=512)
+        assert len(sl) == 100

@@ -1,0 +1,104 @@
+"""Tests for the real-RDBMS (SQLite) execution of the SQL baseline."""
+
+import random
+
+import pytest
+
+from repro import SetCollection, SetSimilaritySearcher
+from repro.core.errors import IndexNotBuiltError
+from repro.relational.sqlite_backend import SqliteBaseline
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = random.Random(61)
+    vocab = [f"g{i}" for i in range(35)]
+    sets = [rng.sample(vocab, rng.randint(1, 7)) for _ in range(180)]
+    coll = SetCollection.from_token_sets(sets)
+    return SetSimilaritySearcher(coll), SqliteBaseline(coll), vocab
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("tau", [0.4, 0.7, 0.9, 1.0])
+    def test_matches_brute_force(self, setup, tau):
+        searcher, sqlite_engine, vocab = setup
+        rng = random.Random(int(tau * 100))
+        for _ in range(8):
+            q = rng.sample(vocab, rng.randint(1, 5))
+            pq = searcher.prepare(q)
+            got = {
+                (r.set_id, round(r.score, 9))
+                for r in sqlite_engine.search(pq, tau).results
+            }
+            ref = {
+                (r.set_id, round(r.score, 9))
+                for r in searcher.brute_force(q, tau)
+            }
+            assert got == ref
+
+    def test_agrees_with_simulated_sql(self, setup):
+        from repro.relational.sqlbaseline import SqlBaseline
+
+        searcher, sqlite_engine, vocab = setup
+        simulated = SqlBaseline(searcher.collection)
+        rng = random.Random(3)
+        for _ in range(10):
+            q = rng.sample(vocab, rng.randint(1, 5))
+            pq = searcher.prepare(q)
+            a = {r.set_id for r in sqlite_engine.search(pq, 0.6).results}
+            b = {r.set_id for r in simulated.search(pq, 0.6).results}
+            assert a == b
+
+    def test_nlb_variant(self, setup):
+        searcher, _e, vocab = setup
+        nlb = SqliteBaseline(searcher.collection, use_length_bounds=False)
+        q = vocab[:4]
+        pq = searcher.prepare(q)
+        got = {r.set_id for r in nlb.search(pq, 0.5).results}
+        ref = {r.set_id for r in searcher.brute_force(q, 0.5)}
+        assert got == ref
+        assert nlb.search(pq, 0.5).algorithm == "sqlite-nlb"
+        nlb.close()
+
+    def test_requires_frozen(self):
+        coll = SetCollection()
+        coll.add(["a"])
+        with pytest.raises(IndexNotBuiltError):
+            SqliteBaseline(coll)
+
+
+class TestRelationalPlumbing:
+    def test_row_counts(self, setup):
+        searcher, sqlite_engine, _v = setup
+        counts = sqlite_engine.row_counts()
+        assert counts["base"] == len(searcher.collection)
+        assert counts["qgrams"] == sum(
+            len(r.tokens) for r in searcher.collection
+        )
+
+    def test_explain_uses_composite_index(self, setup):
+        searcher, sqlite_engine, vocab = setup
+        pq = searcher.prepare(vocab[:3])
+        plan = "\n".join(sqlite_engine.explain(pq, 0.8))
+        assert "idx_qgrams_composite" in plan
+
+    def test_file_backed_database(self, setup, tmp_path):
+        searcher, _e, vocab = setup
+        path = str(tmp_path / "qgrams.db")
+        with SqliteBaseline(searcher.collection, database=path) as engine:
+            pq = searcher.prepare(vocab[:3])
+            got = {r.set_id for r in engine.search(pq, 0.6).results}
+            ref = {r.set_id for r in searcher.brute_force(vocab[:3], 0.6)}
+            assert got == ref
+        import os
+
+        assert os.path.exists(path)
+
+    def test_context_manager_closes(self, setup):
+        searcher, _e, _v = setup
+        engine = SqliteBaseline(searcher.collection)
+        engine.close()
+        import sqlite3
+
+        with pytest.raises(sqlite3.ProgrammingError):
+            engine.row_counts()

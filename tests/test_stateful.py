@@ -1,0 +1,120 @@
+"""Stateful (model-based) hypothesis tests for the mutable structures."""
+
+from collections import OrderedDict
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.btree import BPlusTree
+from repro.storage.exthash import ExtendibleHash
+
+
+class ExtendibleHashMachine(RuleBasedStateMachine):
+    """ExtendibleHash must behave exactly like a dict of int -> value."""
+
+    def __init__(self):
+        super().__init__()
+        self.hash = ExtendibleHash(bucket_capacity=2)  # force many splits
+        self.model = {}
+
+    @rule(key=st.integers(0, 500), value=st.integers(-10, 10))
+    def insert(self, key, value):
+        self.hash.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=st.integers(0, 500))
+    def probe(self, key):
+        found, value = self.hash.probe(key)
+        assert found == (key in self.model)
+        if found:
+            assert value == self.model[key]
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.hash) == len(self.model)
+
+    @invariant()
+    def load_factor_sane(self):
+        if self.model:
+            assert 0.0 < self.hash.load_factor() <= 1.0
+
+
+class LRUPoolMachine(RuleBasedStateMachine):
+    """LRUBufferPool must match a reference OrderedDict LRU."""
+
+    CAPACITY = 4
+
+    def __init__(self):
+        super().__init__()
+        self.pool = LRUBufferPool(self.CAPACITY)
+        self.model = OrderedDict()
+
+    @rule(key=st.integers(0, 10))
+    def access(self, key):
+        expected_hit = key in self.model
+        if expected_hit:
+            self.model.move_to_end(key)
+        else:
+            self.model[key] = None
+            if len(self.model) > self.CAPACITY:
+                self.model.popitem(last=False)
+        assert self.pool.access(key) == expected_hit
+
+    @invariant()
+    def contents_agree(self):
+        assert len(self.pool) == len(self.model)
+        for key in self.model:
+            assert key in self.pool
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """Point-inserted B+-tree must match a sorted dict."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = BPlusTree(order=4)  # tiny order forces splits
+        self.model = {}
+
+    @rule(key=st.integers(0, 200), value=st.integers())
+    def insert(self, key, value):
+        # The tree allows duplicate keys; the model keeps the first, and we
+        # only insert fresh keys to keep semantics aligned.
+        if key not in self.model:
+            self.tree.insert(key, value)
+            self.model[key] = value
+
+    @rule(key=st.integers(0, 200))
+    def seek(self, key):
+        assert self.tree.seek(key) == self.model.get(key)
+
+    @rule(a=st.integers(0, 200), b=st.integers(0, 200))
+    def range_scan(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        got = [k for k, _ in self.tree.range_scan(lo, hi)]
+        expected = sorted(k for k in self.model if lo <= k <= hi)
+        assert got == expected
+
+    @invariant()
+    def items_sorted(self):
+        keys = [k for k, _ in self.tree.items()]
+        assert keys == sorted(self.model)
+
+
+TestExtendibleHashStateful = ExtendibleHashMachine.TestCase
+TestLRUPoolStateful = LRUPoolMachine.TestCase
+TestBTreeStateful = BTreeMachine.TestCase
+
+for case in (
+    TestExtendibleHashStateful,
+    TestLRUPoolStateful,
+    TestBTreeStateful,
+):
+    case.settings = settings(
+        max_examples=25, stateful_step_count=40, deadline=None
+    )

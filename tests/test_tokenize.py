@@ -1,0 +1,149 @@
+"""Unit tests for repro.core.tokenize."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.tokenize import (
+    QGramTokenizer,
+    WordQGramTokenizer,
+    WordTokenizer,
+    gram_count_for_length,
+    jaccard,
+    length_bucket,
+    ngram_profile,
+    split_into_words,
+    tokenizer_from_name,
+)
+
+
+class TestWordTokenizer:
+    def test_basic_split(self):
+        assert WordTokenizer().tokens("Main St., Main") == [
+            "main", "st", "main",
+        ]
+
+    def test_counts_are_multiset(self):
+        counts = WordTokenizer().counts("Main St., Main")
+        assert counts == {"main": 2, "st": 1}
+
+    def test_set_deduplicates(self):
+        assert WordTokenizer().set("a b a") == frozenset({"a", "b"})
+
+    def test_case_preserved_when_disabled(self):
+        assert WordTokenizer(lowercase=False).tokens("Main St") == [
+            "Main", "St",
+        ]
+
+    def test_min_length_filters(self):
+        assert WordTokenizer(min_length=3).tokens("a bb ccc dddd") == [
+            "ccc", "dddd",
+        ]
+
+    def test_min_length_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WordTokenizer(min_length=0)
+
+    def test_numbers_kept(self):
+        assert WordTokenizer().tokens("route 66") == ["route", "66"]
+
+    def test_empty_string(self):
+        assert WordTokenizer().tokens("") == []
+
+    def test_callable_protocol(self):
+        tok = WordTokenizer()
+        assert tok("x y") == tok.tokens("x y")
+
+
+class TestQGramTokenizer:
+    def test_padded_count(self):
+        grams = QGramTokenizer(q=3).tokens("main")
+        # len + q - 1 grams with padding
+        assert len(grams) == 4 + 3 - 1
+
+    def test_padded_edges(self):
+        grams = QGramTokenizer(q=3, pad_char="#").tokens("ab")
+        assert grams[0] == "##a"
+        assert grams[-1] == "b##"
+
+    def test_unpadded(self):
+        grams = QGramTokenizer(q=3, pad=False).tokens("main")
+        assert grams == ["mai", "ain"]
+
+    def test_unpadded_short_string_whole(self):
+        assert QGramTokenizer(q=3, pad=False).tokens("ab") == ["ab"]
+
+    def test_empty(self):
+        assert QGramTokenizer(q=3).tokens("") == []
+
+    def test_q1_is_characters(self):
+        assert QGramTokenizer(q=1).tokens("abc") == ["a", "b", "c"]
+
+    def test_lowercases_by_default(self):
+        assert "##m" in QGramTokenizer(q=3).tokens("Main")
+
+    def test_invalid_q(self):
+        with pytest.raises(ConfigurationError):
+            QGramTokenizer(q=0)
+
+    def test_invalid_pad_char(self):
+        with pytest.raises(ConfigurationError):
+            QGramTokenizer(pad_char="##")
+
+    def test_gram_count_matches_helper(self):
+        for word in ["a", "ab", "abcdef", "x" * 20]:
+            grams = QGramTokenizer(q=3).tokens(word)
+            assert len(grams) == gram_count_for_length(len(word), q=3)
+
+    def test_repr_mentions_q(self):
+        assert "q=4" in repr(QGramTokenizer(q=4))
+
+
+class TestWordQGramTokenizer:
+    def test_word_boundaries_respected(self):
+        grams = WordQGramTokenizer(q=3).tokens("ab cd")
+        # No gram spans the space: each word padded independently.
+        assert "b#c" not in grams and "b c" not in grams
+        assert "##a" in grams and "##c" in grams
+
+    def test_equivalent_to_per_word(self):
+        q = QGramTokenizer(q=3)
+        combined = WordQGramTokenizer(q=3).tokens("main street")
+        assert combined == q.tokens("main") + q.tokens("street")
+
+
+class TestHelpers:
+    def test_jaccard_identical(self):
+        assert jaccard(["a", "b"], ["b", "a"]) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert jaccard(["a"], ["b"]) == 0.0
+
+    def test_jaccard_partial(self):
+        assert jaccard(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+
+    def test_jaccard_empty_both(self):
+        assert jaccard([], []) == 1.0
+
+    def test_factory_names(self):
+        assert isinstance(tokenizer_from_name("word"), WordTokenizer)
+        assert isinstance(tokenizer_from_name("qgram", q=2), QGramTokenizer)
+        assert isinstance(
+            tokenizer_from_name("word+qgram"), WordQGramTokenizer
+        )
+
+    def test_factory_unknown(self):
+        with pytest.raises(ConfigurationError):
+            tokenizer_from_name("bogus")
+
+    def test_split_into_words(self):
+        assert split_into_words("The Main St.") == ["the", "main", "st"]
+
+    def test_ngram_profile_counts_documents(self):
+        profile = ngram_profile(["aaa", "aaa"], q=3)
+        assert profile["aaa"] == 2  # document frequency, not occurrences
+
+    def test_length_bucket(self):
+        buckets = [(1, 5), (6, 10)]
+        assert length_bucket(3, buckets) == 0
+        assert length_bucket(6, buckets) == 1
+        assert length_bucket(11, buckets) == -1

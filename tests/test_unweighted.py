@@ -1,0 +1,159 @@
+"""Tests for unweighted cosine/Jaccard/Dice selection."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CosineSetSearcher
+from repro.core.errors import ConfigurationError
+from repro.core.unweighted import (
+    UniformStatistics,
+    cosine_score,
+    dice_score,
+    jaccard_score,
+    reduced_cosine_threshold,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = random.Random(31)
+    vocab = [f"u{i}" for i in range(30)]
+    sets = [rng.sample(vocab, rng.randint(1, 8)) for _ in range(200)]
+    return CosineSetSearcher(sets), vocab
+
+
+def answers(results):
+    return {(r.set_id, round(r.score, 9)) for r in results}
+
+
+class TestScores:
+    def test_jaccard(self):
+        assert jaccard_score(
+            frozenset("ab"), frozenset("bc")
+        ) == pytest.approx(1 / 3)
+
+    def test_dice(self):
+        assert dice_score(
+            frozenset("ab"), frozenset("bc")
+        ) == pytest.approx(0.5)
+
+    def test_cosine(self):
+        assert cosine_score(
+            frozenset("ab"), frozenset("bc")
+        ) == pytest.approx(0.5)
+
+    def test_empty_conventions(self):
+        assert jaccard_score(frozenset(), frozenset()) == 1.0
+        assert dice_score(frozenset(), frozenset()) == 1.0
+        assert cosine_score(frozenset(), frozenset()) == 1.0
+
+    def test_uniform_stats_idf_is_one(self):
+        stats = UniformStatistics.from_sets([{"a"}, {"a", "b"}])
+        assert stats.idf("a") == 1.0
+        assert stats.idf("never-seen") == 1.0
+        assert stats.length({"a", "b", "c", "d"}) == pytest.approx(2.0)
+
+
+class TestReductions:
+    def test_cosine_identity(self):
+        assert reduced_cosine_threshold("cosine", 0.7) == 0.7
+
+    def test_jaccard_formula(self):
+        assert reduced_cosine_threshold("jaccard", 0.5) == pytest.approx(
+            2 * 0.5 / 1.5
+        )
+
+    def test_dice_identity(self):
+        assert reduced_cosine_threshold("dice", 0.8) == 0.8
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            reduced_cosine_threshold("overlap", 0.5)
+
+    @given(
+        st.floats(min_value=0.01, max_value=1.0),
+        st.integers(1, 10),
+        st.integers(1, 10),
+        st.integers(0, 10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_jaccard_reduction_is_complete(self, tau, extra_q, extra_s, common):
+        # For any pair of sets, J >= tau implies C >= reduced threshold.
+        q = frozenset(f"c{i}" for i in range(common)) | frozenset(
+            f"q{i}" for i in range(extra_q)
+        )
+        s = frozenset(f"c{i}" for i in range(common)) | frozenset(
+            f"s{i}" for i in range(extra_s)
+        )
+        if jaccard_score(q, s) >= tau:
+            assert cosine_score(q, s) >= reduced_cosine_threshold(
+                "jaccard", tau
+            ) - 1e-12
+
+    @given(
+        st.floats(min_value=0.01, max_value=1.0),
+        st.integers(1, 10),
+        st.integers(1, 10),
+        st.integers(0, 10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_dice_reduction_is_complete(self, tau, extra_q, extra_s, common):
+        q = frozenset(f"c{i}" for i in range(common)) | frozenset(
+            f"q{i}" for i in range(extra_q)
+        )
+        s = frozenset(f"c{i}" for i in range(common)) | frozenset(
+            f"s{i}" for i in range(extra_s)
+        )
+        if dice_score(q, s) >= tau:
+            assert cosine_score(q, s) >= reduced_cosine_threshold(
+                "dice", tau
+            ) - 1e-12
+
+
+class TestSelection:
+    @pytest.mark.parametrize("measure", ["cosine", "jaccard", "dice"])
+    @pytest.mark.parametrize("tau", [0.3, 0.5, 0.8, 1.0])
+    def test_matches_brute_force(self, setup, measure, tau):
+        searcher, vocab = setup
+        rng = random.Random(hash((measure, tau)) & 0xFFFF)
+        for _ in range(8):
+            q = rng.sample(vocab, rng.randint(1, 6))
+            got = answers(searcher.search(q, tau, measure=measure).results)
+            ref = answers(searcher.brute_force(q, tau, measure=measure))
+            assert got == ref, (measure, tau, q)
+
+    @pytest.mark.parametrize(
+        "algorithm", ["sf", "inra", "hybrid", "sort-by-id"]
+    )
+    def test_any_algorithm_works(self, setup, algorithm):
+        searcher, vocab = setup
+        q = vocab[:4]
+        got = answers(
+            searcher.search(q, 0.5, measure="jaccard", algorithm=algorithm).results
+        )
+        ref = answers(searcher.brute_force(q, 0.5, measure="jaccard"))
+        assert got == ref
+
+    def test_exact_duplicate_at_tau_one(self):
+        s = CosineSetSearcher([["x", "y"], ["x", "y", "z"], ["x", "y"]])
+        for measure in ("cosine", "jaccard", "dice"):
+            got = set(s.search(["x", "y"], 1.0, measure=measure).ids())
+            assert got == {0, 2}, measure
+
+    def test_cosine_is_idf_with_uniform_weights(self, setup):
+        searcher, vocab = setup
+        q = vocab[:3]
+        result = searcher.search(q, 0.4, measure="cosine")
+        for r in result.results:
+            expected = cosine_score(
+                frozenset(q), searcher.collection[r.set_id].tokens
+            )
+            assert r.score == pytest.approx(expected)
+
+    def test_algorithm_label(self, setup):
+        searcher, vocab = setup
+        result = searcher.search(vocab[:2], 0.5, measure="jaccard")
+        assert result.algorithm == "jaccard-via-sf"

@@ -1,0 +1,135 @@
+"""Unit tests for repro.core.weights (idf statistics and lengths)."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.weights import (
+    IdfStatistics,
+    contribution,
+    normalized_length,
+    tf_counts,
+)
+
+
+@pytest.fixture()
+def stats():
+    # 4 sets; 'common' in all, 'rare' in one, 'mid' in two.
+    sets = [
+        {"common", "rare"},
+        {"common", "mid"},
+        {"common", "mid"},
+        {"common"},
+    ]
+    return IdfStatistics.from_sets(sets)
+
+
+class TestIdfStatistics:
+    def test_num_sets(self, stats):
+        assert stats.num_sets == 4
+
+    def test_doc_freq(self, stats):
+        assert stats.doc_freq("common") == 4
+        assert stats.doc_freq("mid") == 2
+        assert stats.doc_freq("rare") == 1
+
+    def test_unseen_token_df_one(self, stats):
+        assert stats.doc_freq("never") == 1
+
+    def test_idf_formula(self, stats):
+        assert stats.idf("rare") == pytest.approx(math.log2(1 + 4 / 1))
+        assert stats.idf("common") == pytest.approx(math.log2(1 + 4 / 4))
+
+    def test_idf_monotone_in_rarity(self, stats):
+        assert stats.idf("rare") > stats.idf("mid") > stats.idf("common")
+
+    def test_common_token_idf_is_one(self, stats):
+        # N(t) == N gives log2(2) == 1.
+        assert stats.idf("common") == pytest.approx(1.0)
+
+    def test_idf_squared(self, stats):
+        assert stats.idf_squared("mid") == pytest.approx(stats.idf("mid") ** 2)
+
+    def test_idf_cached(self, stats):
+        first = stats.idf("rare")
+        assert stats.idf("rare") is first or stats.idf("rare") == first
+
+    def test_contains_and_len(self, stats):
+        assert "rare" in stats
+        assert "never" not in stats
+        assert len(stats) == 3
+
+    def test_multisets_counted_once(self):
+        s = IdfStatistics.from_sets([["a", "a", "b"], ["a"]])
+        assert s.doc_freq("a") == 2
+
+    def test_avg_set_size(self):
+        s = IdfStatistics.from_sets([{"a"}, {"a", "b", "c"}])
+        assert s.avg_set_size == pytest.approx(2.0)
+
+    def test_empty_corpus(self):
+        s = IdfStatistics.from_sets([])
+        assert s.num_sets == 0
+        assert s.idf("x") > 0  # still well-defined
+
+    def test_invalid_doc_freq_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IdfStatistics(2, {"a": 0})
+
+    def test_negative_num_sets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IdfStatistics(-1, {})
+
+    def test_repr(self, stats):
+        assert "vocabulary=3" in repr(stats)
+
+
+class TestLengths:
+    def test_normalized_length_definition(self, stats):
+        expected = math.sqrt(
+            stats.idf_squared("common") + stats.idf_squared("rare")
+        )
+        assert normalized_length({"common", "rare"}, stats) == pytest.approx(
+            expected
+        )
+
+    def test_length_ignores_duplicates(self, stats):
+        assert normalized_length(
+            ["common", "common"], stats
+        ) == pytest.approx(normalized_length(["common"], stats))
+
+    def test_empty_set_zero_length(self, stats):
+        assert normalized_length([], stats) == 0.0
+
+    def test_length_monotone_under_superset(self, stats):
+        small = normalized_length({"common"}, stats)
+        large = normalized_length({"common", "rare"}, stats)
+        assert large > small
+
+    def test_stats_length_helper(self, stats):
+        assert stats.length({"mid"}) == pytest.approx(stats.idf("mid"))
+
+
+class TestContribution:
+    def test_formula(self, stats):
+        ls, lq = 2.0, 3.0
+        expected = stats.idf_squared("rare") / (ls * lq)
+        assert contribution("rare", ls, lq, stats) == pytest.approx(expected)
+
+    def test_zero_length_guard(self, stats):
+        assert contribution("rare", 0.0, 3.0, stats) == 0.0
+        assert contribution("rare", 3.0, 0.0, stats) == 0.0
+
+    def test_decreasing_in_set_length(self, stats):
+        a = contribution("rare", 1.0, 2.0, stats)
+        b = contribution("rare", 5.0, 2.0, stats)
+        assert a > b
+
+
+class TestTfCounts:
+    def test_counts(self):
+        assert tf_counts(["a", "b", "a"]) == {"a": 2, "b": 1}
+
+    def test_empty(self):
+        assert tf_counts([]) == {}

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Regenerate the Markdown reproduction report from benchmark results.
+
+Usage:
+    pytest benchmarks/ --benchmark-only    # produce benchmarks/results/
+    python tools/make_report.py            # -> REPORT.md at the repo root
+    python tools/make_report.py --output somewhere.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.eval.report import coverage, write_report  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--results",
+        default=str(ROOT / "benchmarks" / "results"),
+        help="directory of benchmark result tables",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(ROOT / "REPORT.md"),
+        help="Markdown file to write",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail if any expected result table is missing",
+    )
+    args = parser.parse_args(argv)
+
+    present = coverage(args.results)
+    missing = [name for name, ok in present.items() if not ok]
+    if missing:
+        print(
+            f"warning: {len(missing)} result table(s) missing "
+            f"(run `pytest benchmarks/ --benchmark-only`):",
+            file=sys.stderr,
+        )
+        for name in missing:
+            print(f"  - {name}", file=sys.stderr)
+        if args.strict:
+            return 1
+
+    output = write_report(
+        args.results,
+        args.output,
+        title=(
+            "Reproduction report — Fast Indexes and Algorithms for "
+            "Set Similarity Selection Queries (ICDE 2008)"
+        ),
+    )
+    print(f"wrote {output} ({output.stat().st_size} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
