@@ -12,9 +12,7 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro import SetSimilaritySearcher
 from repro.data.workloads import make_workload
 from repro.eval.harness import format_table
 

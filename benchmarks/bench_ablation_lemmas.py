@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro import SetCollection, SetSimilaritySearcher
 from repro.eval.harness import format_table

@@ -11,7 +11,6 @@ expected to win or tie, since high idf simultaneously means short lists
 
 from __future__ import annotations
 
-import pytest
 
 from repro.data.workloads import make_workload
 from repro.eval.harness import format_table

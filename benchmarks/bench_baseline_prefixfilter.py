@@ -12,7 +12,6 @@ sequential model avoids.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.algorithms.prefixfilter import PrefixFilterSearcher
 from repro.data.workloads import make_workload

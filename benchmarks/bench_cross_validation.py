@@ -12,7 +12,6 @@ Two fidelity checks that are not paper figures but guard the reproduction:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.collection import SetCollection
 from repro.core.tokenize import QGramTokenizer

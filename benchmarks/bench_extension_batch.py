@@ -8,7 +8,6 @@ the per-query plan.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.algorithms.batch import BatchSelector
 from repro.data.workloads import make_workload

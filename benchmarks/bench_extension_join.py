@@ -8,7 +8,6 @@ the join best.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.join import (
     brute_force_self_join,

@@ -9,7 +9,6 @@ byte model of the storage layer and assert those orderings.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.storage.invlist import InvertedIndex
 from repro.storage.pages import bytes_human

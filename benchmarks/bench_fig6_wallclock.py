@@ -23,7 +23,13 @@ import pytest
 from repro.eval.harness import format_table
 
 from conftest import write_result
-from sweeps import ALL_ENGINES, modification_sweep, pivot, query_size_sweep, threshold_sweep
+from sweeps import (
+    ALL_ENGINES,
+    modification_sweep,
+    pivot,
+    query_size_sweep,
+    threshold_sweep,
+)
 
 COLUMNS = [
     "engine", "tau", "bucket", "mods", "avg_results",

@@ -8,7 +8,6 @@ engines only, as in the paper.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.eval.harness import format_table
 

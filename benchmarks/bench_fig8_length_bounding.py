@@ -10,7 +10,6 @@ partition).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.data.workloads import make_workload
 from repro.eval.harness import format_table

@@ -8,7 +8,6 @@ elements-read counter captures exactly the discarded prefix.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.data.workloads import make_workload
 from repro.eval.harness import format_table

@@ -11,7 +11,6 @@ substantiates that claim by sweeping corpus size and measuring, for SF:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.data.synthetic import generate_word_database
 from repro.data.workloads import make_workload

@@ -13,13 +13,10 @@ cell:
 
 from __future__ import annotations
 
-import pytest
 
-import repro.data.synthetic as synthetic
 from repro.core.collection import SetCollection
 from repro.core.tokenize import QGramTokenizer
 from repro.data.synthetic import (
-    WordGenerator,
     distinct_words,
     generate_records,
 )

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.core.collection import SetCollection
 from repro.core.similarity import measure_from_name

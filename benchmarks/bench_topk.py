@@ -6,7 +6,6 @@ exhaustive ranking baseline, and how its pruning scales with k.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.data.workloads import make_workload
 from repro.eval.harness import format_table

@@ -14,7 +14,6 @@ so the regenerated rows survive pytest's output capture.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest

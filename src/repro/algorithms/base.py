@@ -20,6 +20,11 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Tuple
 
+from ..contracts import (
+    ContractViolation,
+    check_length_window,
+    invariants_enabled,
+)
 from ..core.errors import UnknownAlgorithmError
 from ..core.properties import effective_threshold
 from ..core.query import PreparedQuery
@@ -50,7 +55,11 @@ class SearchResult:
         return iter((self.set_id, self.score))
 
     def __eq__(self, other) -> bool:
-        return (self.set_id, self.score) == (other.set_id, other.score)
+        # Intentional exact comparison: equality here means "the same
+        # answer object", not "equivalent score".
+        return (  # repro-check: allow-float-eq
+            (self.set_id, self.score) == (other.set_id, other.score)
+        )
 
     def __repr__(self) -> str:
         return f"SearchResult(id={self.set_id}, score={self.score:.4f})"
@@ -246,6 +255,8 @@ class SelectionAlgorithm:
             results = [
                 r for r in results if lengths[r.set_id] >= floor
             ]
+        if invariants_enabled():
+            self._check_result_contracts(query, tau, results)
         elapsed = time.perf_counter() - started
         return AlgorithmResult(
             algorithm=self.name,
@@ -255,6 +266,47 @@ class SelectionAlgorithm:
             wall_seconds=elapsed,
             peak_candidates=peak,
         )
+
+    def _check_result_contracts(
+        self,
+        query: PreparedQuery,
+        tau: float,
+        results: List[SearchResult],
+    ) -> None:
+        """Invariants every exact answer set satisfies, whatever the
+        algorithm or ablation flags: Theorem 1's length window (answers
+        obey it even when pruning never used it), scores at or above the
+        effective threshold, and no duplicate ids.
+
+        Indexes without a backing collection (test doubles with
+        deliberately decoupled statistics) skip the length-window check —
+        Theorem 1 presumes lengths and idfs come from the same corpus.
+        """
+        collection = getattr(self.index, "collection", None)
+        if collection is not None:
+            lengths = collection.lengths()
+            check_length_window(
+                ((r.set_id, lengths[r.set_id]) for r in results),
+                query.length,
+                tau,
+                floor=self._length_floor,
+                source=f"{self.name} result set",
+            )
+        seen = set()
+        for r in results:
+            if r.score < tau:
+                raise ContractViolation(
+                    "magnitude-boundedness",
+                    f"{self.name} reported set {r.set_id} with score "
+                    f"{r.score!r} below the effective threshold {tau!r}",
+                )
+            if r.set_id in seen:
+                raise ContractViolation(
+                    "order-preservation",
+                    f"{self.name} reported set {r.set_id} twice; a set "
+                    "must be resolved exactly once",
+                )
+            seen.add(r.set_id)
 
     def _run(
         self, lists: QueryLists, tau: float

@@ -40,7 +40,8 @@ from .candidates import Candidate, PartitionedCandidateSet
 
 @register_algorithm
 class Hybrid(SelectionAlgorithm):
-    """iNRA's breadth + SF's per-list depth cutoffs + partitioned candidates."""
+    """iNRA's breadth + SF's per-list depth cutoffs + partitioned
+    candidates (Section VII; element-access optimality per Lemma 4)."""
 
     name = "hybrid"
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..contracts import ContractViolation, invariants_enabled
 from ..storage.invlist import InvertedIndex
 from .base import (
     QueryLists,
@@ -38,7 +39,8 @@ from .candidates import Candidate, HashCandidateSet
 
 @register_algorithm
 class INRA(SelectionAlgorithm):
-    """Improved NRA with the Section IV pruning properties."""
+    """Improved NRA with the Section IV pruning properties
+    (Section V, Algorithm 2)."""
 
     name = "inra"
 
@@ -77,6 +79,7 @@ class INRA(SelectionAlgorithm):
             else:
                 frontier_contrib[i] = lists.contribution(i, cursor.peek()[0])
         f_threshold = float("inf")
+        verify = invariants_enabled()
 
         while True:
             for i, cursor in enumerate(cursors):
@@ -93,6 +96,10 @@ class INRA(SelectionAlgorithm):
                     frontier_contrib[i] = 0.0
                     continue
                 length, set_id = cursor.next()
+                if verify and frontier_key[i] is not None:
+                    self._check_frontier_monotone(
+                        lists, i, length, frontier_contrib[i]
+                    )
                 frontier_key[i] = (length, set_id)
                 frontier_contrib[i] = lists.contribution(i, length)
                 contribution = lists.contribution(i, length)
@@ -136,6 +143,22 @@ class INRA(SelectionAlgorithm):
         return results, candidates.peak
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _check_frontier_monotone(
+        lists: QueryLists, list_index: int, length: float, previous: float
+    ) -> None:
+        """Magnitude Boundedness at the frontier: the contribution of the
+        newly popped posting may never exceed the list's previous frontier
+        contribution (runs only under ``REPRO_CHECK_INVARIANTS=1``)."""
+        contribution = lists.contribution(list_index, length)
+        if contribution > previous + 1e-12:
+            raise ContractViolation(
+                "magnitude-boundedness",
+                f"list {lists.tokens[list_index]!r} frontier contribution "
+                f"rose from {previous!r} to {contribution!r}; per-token "
+                "contributions must be non-increasing",
+            )
+
     def _best_case(
         self,
         lists: QueryLists,

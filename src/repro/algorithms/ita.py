@@ -22,17 +22,21 @@ from __future__ import annotations
 
 from typing import List, Optional, Set, Tuple
 
+from ..contracts import invariants_enabled
 from .base import (
     QueryLists,
     SearchResult,
     SelectionAlgorithm,
     register_algorithm,
 )
+from .inra import INRA
 
 
 @register_algorithm
 class ITA(SelectionAlgorithm):
-    """Improved TA: length window, magnitude pre-check, probe avoidance."""
+    """Improved TA: length window, magnitude pre-check, probe avoidance
+    (the Section V "straightforward" TA analogue of iNRA's Section IV
+    property usage)."""
 
     name = "ita"
 
@@ -52,6 +56,7 @@ class ITA(SelectionAlgorithm):
         complete = [False] * n
         frontier_key: List[Optional[Tuple[float, int]]] = [None] * n
         frontier_contrib = [0.0] * n
+        verify = invariants_enabled()
         for i, cursor in enumerate(cursors):
             if cursor.exhausted():
                 complete[i] = True
@@ -70,6 +75,10 @@ class ITA(SelectionAlgorithm):
                     frontier_contrib[i] = 0.0
                     continue
                 length, set_id = cursor.next()
+                if verify and frontier_key[i] is not None:
+                    INRA._check_frontier_monotone(
+                        lists, i, length, frontier_contrib[i]
+                    )
                 frontier_key[i] = (length, set_id)
                 frontier_contrib[i] = lists.contribution(i, length)
                 if cursor.exhausted():

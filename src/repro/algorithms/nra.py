@@ -33,7 +33,8 @@ from .candidates import Candidate, HashCandidateSet
 
 @register_algorithm
 class NRA(SelectionAlgorithm):
-    """Textbook NRA over weight-ordered inverted lists."""
+    """Textbook NRA over weight-ordered inverted lists (Algorithm 1;
+    the Lemma 1 lower-bound baseline)."""
 
     name = "nra"
 

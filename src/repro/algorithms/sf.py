@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from ..contracts import check_magnitude_bound, invariants_enabled
 from .base import (
     QueryLists,
     SearchResult,
@@ -37,7 +38,8 @@ from .candidates import Candidate
 
 @register_algorithm
 class ShortestFirst(SelectionAlgorithm):
-    """Depth-first list-at-a-time processing with λ cutoffs.
+    """Depth-first list-at-a-time processing with λ cutoffs
+    (Section VI, Algorithm 3; cutoffs from Equation 2).
 
     ``list_order`` strategies (an ablation beyond the paper — the λ
     correctness argument only needs the *suffix* structure, which holds for
@@ -93,6 +95,10 @@ class ShortestFirst(SelectionAlgorithm):
         # disabled these still apply — they stem from Magnitude Boundedness.
         denom = tau * query_len
         cutoffs = [potential[i] / denom if denom > 0 else 0.0 for i in range(n)]
+        if invariants_enabled():
+            # Magnitude Boundedness in λ form: suffix potentials only
+            # shrink, so the per-list cutoffs must be non-increasing.
+            check_magnitude_bound(cutoffs, source="SF λ cutoffs")
 
         # C: candidates in increasing (len, id) order + id lookup.
         sorted_cands: List[Candidate] = []

@@ -14,7 +14,6 @@ import heapq
 from typing import List, Tuple
 
 from .base import (
-    AlgorithmResult,
     QueryLists,
     SearchResult,
     SelectionAlgorithm,

@@ -30,7 +30,8 @@ from .base import (
 
 @register_algorithm
 class TA(SelectionAlgorithm):
-    """Textbook TA over weight-ordered lists + per-list hash indexes."""
+    """Textbook TA over weight-ordered lists + per-list hash indexes
+    (Fagin et al.; the paper's Section III-C random-access baseline)."""
 
     name = "ta"
 

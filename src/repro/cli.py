@@ -83,6 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="smallest duplicate group to report",
     )
 
+    p_check = sub.add_parser(
+        "check",
+        help="run the static-analysis suite (tools.check) over the source",
+    )
+    p_check.add_argument(
+        "check_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to `python -m tools.check`",
+    )
+
     return parser
 
 
@@ -233,6 +242,29 @@ def cmd_dedupe(args, out: IO[str]) -> int:
     return 0
 
 
+def cmd_check(args, out: IO[str]) -> int:
+    try:
+        from tools.check import main as check_main
+    except ImportError:
+        # Installed without the repo checkout: try the source tree the
+        # package was imported from (src/repro -> repo root).
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent.parent
+        if (repo_root / "tools" / "check" / "cli.py").exists():
+            sys.path.insert(0, str(repo_root))
+            from tools.check import main as check_main
+        else:
+            print(
+                "error: the static-analysis suite (tools/check) ships with "
+                "the repository, not the installed package; run `python -m "
+                "tools.check` from a repo checkout",
+                file=sys.stderr,
+            )
+            return 2
+    return check_main(args.check_args, out=out)
+
+
 _COMMANDS = {
     "index": cmd_index,
     "query": cmd_query,
@@ -240,11 +272,19 @@ _COMMANDS = {
     "info": cmd_info,
     "bench": cmd_bench,
     "dedupe": cmd_dedupe,
+    "check": cmd_check,
 }
 
 
 def main(argv: Optional[List[str]] = None, out: IO[str] = sys.stdout) -> int:
     """Entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "check":
+        # Forward everything verbatim (argparse's REMAINDER drops leading
+        # options, so `repro check --select layering` needs this bypass).
+        args = argparse.Namespace(check_args=list(argv[1:]))
+        return cmd_check(args, out)
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

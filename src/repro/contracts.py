@@ -1,0 +1,205 @@
+"""Runtime invariant contracts for the paper's semantic properties.
+
+The pruning algorithms are only correct while three invariants hold
+(Section IV of the paper):
+
+* **Order Preservation (Property 1)** — every weight-ordered inverted
+  list is sorted by increasing ``(len(s), id(s))``;
+* **Magnitude Boundedness (Property 2)** — per-token contributions
+  ``w_i(s) = idf(q^i)² / (len(s)·len(q))`` are monotone non-increasing
+  as a list is consumed, and so are SF's λ cutoffs;
+* **Length Boundedness (Theorem 1)** — every answer ``s`` satisfies
+  ``τ·len(q) ≤ len(s) ≤ len(q)/τ``.
+
+Nothing in normal operation should ever violate them, which is exactly
+why refactors break them silently.  This module provides cheap runtime
+assertions that the storage layer and the iTA/iNRA/SF hot paths consult
+*only* when checking is enabled; with checking disabled (the default)
+the cost is one boolean test at a handful of per-query call sites —
+never per posting.
+
+Enable with the environment variable ``REPRO_CHECK_INVARIANTS=1``
+(read once at import time) or programmatically::
+
+    from repro import contracts
+    previous = contracts.set_invariant_checking(True)
+    ...
+    contracts.set_invariant_checking(previous)
+
+The test suite enables checking globally (see ``tests/conftest.py``);
+benchmarks run with it disabled.  Violations raise
+:class:`ContractViolation`, which is both a :class:`ReproError` (so the
+CLI reports it cleanly) and an :class:`AssertionError` (so it reads as
+what it is: a broken internal invariant, not a user mistake).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Callable, Iterable, Optional, Sequence, Tuple, TypeVar
+
+from .core.errors import ReproError
+
+__all__ = [
+    "ENV_VAR",
+    "ContractViolation",
+    "invariants_enabled",
+    "set_invariant_checking",
+    "invariant",
+    "assert_sorted",
+    "check_order_preservation",
+    "check_magnitude_bound",
+    "check_length_window",
+]
+
+ENV_VAR = "REPRO_CHECK_INVARIANTS"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+FuncT = TypeVar("FuncT", bound=Callable)
+
+
+class ContractViolation(ReproError, AssertionError):
+    """An internal semantic invariant was observed broken at runtime."""
+
+    def __init__(self, contract: str, detail: str) -> None:
+        self.contract = contract
+        self.detail = detail
+        super().__init__(f"contract violated [{contract}]: {detail}")
+
+
+class _CheckState:
+    """Mutable process-wide switch; a class so the flag can be flipped
+    after modules captured a reference to the singleton."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+
+
+CHECKS = _CheckState(os.environ.get(ENV_VAR, "").strip().lower() in _TRUTHY)
+
+
+def invariants_enabled() -> bool:
+    """Whether runtime invariant checking is currently on."""
+    return CHECKS.enabled
+
+
+def set_invariant_checking(enabled: bool) -> bool:
+    """Flip checking on or off; returns the previous state.
+
+    Structures that snapshot the flag at construction time (e.g. index
+    cursors) keep the behaviour they were built with; flip the flag
+    before building a searcher to instrument it.
+    """
+    previous = CHECKS.enabled
+    CHECKS.enabled = bool(enabled)
+    return previous
+
+
+def invariant(contract: str) -> Callable[[FuncT], FuncT]:
+    """Decorator marking a function as an invariant check.
+
+    The decorated function body runs only while checking is enabled;
+    when disabled the wrapper returns immediately, so ``@invariant``
+    checks may be called unconditionally from hot paths at the price of
+    one boolean test.
+    """
+
+    def decorate(func: FuncT) -> FuncT:
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            if not CHECKS.enabled:
+                return None
+            return func(*args, **kwargs)
+
+        wrapper.contract = contract  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+@invariant("sortedness")
+def assert_sorted(
+    entries: Iterable, what: str = "sequence", strict: bool = False
+) -> None:
+    """Raise unless ``entries`` is in non-decreasing (or strictly
+    increasing) order."""
+    previous = None
+    for position, entry in enumerate(entries):
+        if previous is not None and (
+            entry < previous or (strict and entry == previous)
+        ):
+            raise ContractViolation(
+                "sortedness",
+                f"{what} out of order at position {position}: "
+                f"{entry!r} after {previous!r}",
+            )
+        previous = entry
+
+
+@invariant("order-preservation")
+def check_order_preservation(
+    entries: Iterable[Tuple[float, int]], source: str = "inverted list"
+) -> None:
+    """Property 1: ``(len, id)`` keys strictly increase along a list."""
+    previous: Optional[Tuple[float, int]] = None
+    for position, key in enumerate(entries):
+        if previous is not None and key <= previous:
+            raise ContractViolation(
+                "order-preservation",
+                f"{source} not sorted by (len, id) at position "
+                f"{position}: {key!r} follows {previous!r}",
+            )
+        previous = key
+
+
+@invariant("magnitude-boundedness")
+def check_magnitude_bound(
+    contributions: Sequence[float],
+    source: str = "per-token contributions",
+    tolerance: float = 1e-12,
+) -> None:
+    """Property 2: a list's contribution sequence never increases."""
+    for position in range(1, len(contributions)):
+        if contributions[position] > contributions[position - 1] + tolerance:
+            raise ContractViolation(
+                "magnitude-boundedness",
+                f"{source} increased at position {position}: "
+                f"{contributions[position]!r} after "
+                f"{contributions[position - 1]!r}",
+            )
+
+
+@invariant("length-boundedness")
+def check_length_window(
+    lengths: Iterable[Tuple[int, float]],
+    query_length: float,
+    tau: float,
+    floor: float = 0.0,
+    tolerance: float = 1e-9,
+    source: str = "result set",
+) -> None:
+    """Theorem 1: answers lie inside ``[τ·len(q), len(q)/τ]``.
+
+    ``lengths`` yields ``(set_id, normalized_length)`` pairs for the
+    reported answers.  ``floor`` is any caller-imposed extra lower bound
+    (the self-join's probe-length floor).  The check holds whether or
+    not the executing algorithm *used* Length Boundedness: exact answers
+    always satisfy Theorem 1, so a result outside the window means the
+    scoring or pruning logic is broken.
+    """
+    if not (0.0 < tau <= 1.0) or query_length <= 0.0:
+        return
+    lo = max(tau * query_length, floor)
+    hi = query_length / tau
+    for set_id, length in lengths:
+        if length < lo - tolerance or length > hi + tolerance:
+            raise ContractViolation(
+                "length-boundedness",
+                f"{source} contains set {set_id} with normalized length "
+                f"{length!r} outside the window [{lo!r}, {hi!r}] "
+                f"(tau={tau!r}, len(q)={query_length!r})",
+            )

@@ -21,7 +21,6 @@ from typing import (
     List,
     Optional,
     Sequence,
-    Tuple,
 )
 
 from .errors import ConfigurationError, IndexNotBuiltError

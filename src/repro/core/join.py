@@ -23,7 +23,6 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterator, List, Tuple
 
-from ..algorithms.base import make_algorithm
 from ..core.collection import SetCollection
 from ..core.errors import EmptyQueryError
 from ..core.properties import validate_threshold
@@ -80,6 +79,11 @@ def similarity_self_join(
 ) -> JoinResult:
     """All pairs ``(a, b)`` with ``I(a, b) >= tau`` over the searcher's
     collection, each emitted once, with exact scores."""
+    # Late registry lookup: the algorithms layer sits above core in the
+    # module DAG, so the join resolves its engine at call time instead of
+    # pinning a module-level core -> algorithms edge (see docs/static_analysis.md).
+    from ..algorithms.base import make_algorithm
+
     validate_threshold(tau)
     collection = searcher.collection
     stats_total = IOStats()

@@ -13,14 +13,11 @@ against a reference table.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
-from ..algorithms.base import (
-    AlgorithmResult,
-    SearchResult,
-    SelectionAlgorithm,
-    make_algorithm,
-)
+if TYPE_CHECKING:  # annotation-only: keeps core below algorithms in the DAG
+    from ..algorithms.base import AlgorithmResult, SearchResult
+
 from ..storage.invlist import InvertedIndex
 from .collection import SetCollection
 from .errors import EmptyQueryError
@@ -31,6 +28,22 @@ from .tokenize import QGramTokenizer, Tokenizer
 from .topk import TopKResult, TopKSearcher
 
 DEFAULT_ALGORITHM = "sf"
+
+# Bound on first use by _algorithm_factory(); keeps the algorithms layer
+# out of core's module-level imports without paying the sys.modules
+# lookup of a function-body import on every search.
+_make_algorithm = None
+
+
+def _algorithm_factory():
+    # Late registry lookup, same rationale as in join.py: dispatch to
+    # the algorithms layer without a module-level upward import.
+    global _make_algorithm
+    if _make_algorithm is None:
+        from ..algorithms.base import make_algorithm
+
+        _make_algorithm = make_algorithm
+    return _make_algorithm
 
 
 class SetSimilaritySearcher:
@@ -88,7 +101,9 @@ class SetSimilaritySearcher:
             from .analysis import choose_algorithm
 
             algorithm = choose_algorithm(self.index, query, threshold)
-        alg = make_algorithm(algorithm, self.index, **algorithm_options)
+        alg = _algorithm_factory()(
+            algorithm, self.index, **algorithm_options
+        )
         return alg.search(query, threshold)
 
     def top_k(self, tokens: Sequence[str], k: int) -> TopKResult:
@@ -119,6 +134,8 @@ class SetSimilaritySearcher:
     ) -> List[SearchResult]:
         """Reference answer by scoring every set — used by tests and for
         small collections where index overhead is not worth it."""
+        from ..algorithms.base import SearchResult
+
         stats = self.collection.stats
         try:
             query = self.prepare(tokens)

@@ -20,11 +20,13 @@ foreign data, around persistence, and in stress tests.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..core.collection import SetCollection
 from ..core.errors import StorageError
-from ..storage.invlist import InvertedIndex
+
+if TYPE_CHECKING:  # annotation-only: keeps core below storage in the DAG
+    from ..storage.invlist import InvertedIndex
 
 
 class ValidationReport:
@@ -76,7 +78,9 @@ def validate_index(
 
     for token in index.tokens():
         report.checked_tokens += 1
-        cursor = index.cursor(token)
+        # Tolerant scan: this pass reports corruption softly, so it must
+        # not trip the fail-fast contract cursor on the first bad key.
+        cursor = index.cursor(token, checked=False)
         previous = None
         ids_in_list = []
         while not cursor.exhausted():

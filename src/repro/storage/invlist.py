@@ -23,6 +23,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..contracts import (
+    CHECKS,
+    ContractViolation,
+    check_order_preservation,
+    invariants_enabled,
+)
 from ..core.collection import SetCollection
 from ..core.errors import IndexNotBuiltError
 from .exthash import ExtendibleHash
@@ -130,6 +136,52 @@ class WeightOrderCursor:
                 self.next()
 
 
+class CheckedWeightOrderCursor(WeightOrderCursor):
+    """A weight-order cursor that asserts Order Preservation as it reads.
+
+    Swapped in by :meth:`InvertedIndex.cursor` while invariant checking
+    is enabled (``REPRO_CHECK_INVARIANTS=1``); the plain cursor carries
+    no checking cost otherwise.  Because ``(len, id)`` keys strictly
+    increase along a sorted list, verifying each consumed posting
+    against the previous one also certifies Magnitude Boundedness: the
+    per-token contribution ``idf² / (len·len(q))`` cannot increase while
+    lengths do not decrease.
+    """
+
+    __slots__ = ("_last_key",)
+
+    def __init__(
+        self,
+        postings: TokenPostings,
+        stats: Optional[IOStats],
+        use_skip_list: bool = True,
+    ) -> None:
+        super().__init__(postings, stats, use_skip_list)
+        self._last_key: Optional[Tuple[float, int]] = None
+
+    def next(self) -> Tuple[float, int]:
+        length, set_id = super().next()
+        key = (length, set_id)
+        if self._last_key is not None and key <= self._last_key:
+            raise ContractViolation(
+                "order-preservation",
+                f"list {self.token!r} yielded {key!r} after "
+                f"{self._last_key!r}; weight-ordered lists must strictly "
+                "increase by (len, id)",
+            )
+        self._last_key = key
+        return length, set_id
+
+    def seek_length_ge(self, lo: float) -> None:
+        super().seek_length_ge(lo)
+        if not self.exhausted() and self.peek()[0] < lo:
+            raise ContractViolation(
+                "length-boundedness",
+                f"seek_length_ge({lo!r}) on list {self.token!r} landed on "
+                f"{self.peek()!r}; the skip structure under-seeked",
+            )
+
+
 class IdOrderCursor:
     """Forward cursor over one id-ordered list (entries ``(set_id, length)``)."""
 
@@ -195,8 +247,13 @@ class InvertedIndex:
             for token in rec.tokens:
                 per_token.setdefault(token, []).append((length, rec.set_id))
 
+        verify = invariants_enabled()
         for token, entries in per_token.items():
             entries.sort()
+            if verify:
+                check_order_preservation(
+                    entries, source=f"weight-ordered list {token!r}"
+                )
             weight_file = PagedFile(POSTING_BYTES, page_capacity)
             weight_file.extend(entries)
             id_file = None
@@ -239,12 +296,22 @@ class InvertedIndex:
         token: str,
         stats: Optional[IOStats] = None,
         use_skip_list: bool = True,
+        checked: Optional[bool] = None,
     ) -> Optional[WeightOrderCursor]:
         """Weight-order cursor for a token, or None for unseen tokens
-        (their lists are empty, so algorithms simply skip them)."""
+        (their lists are empty, so algorithms simply skip them).
+
+        ``checked`` overrides the global invariant-checking flag: pass
+        ``False`` for tolerant scans that implement their own integrity
+        reporting (:func:`repro.core.validation.validate_index`), or
+        ``True`` to force a :class:`CheckedWeightOrderCursor` regardless
+        of ``REPRO_CHECK_INVARIANTS``.
+        """
         postings = self._postings.get(token)
         if postings is None:
             return None
+        if checked if checked is not None else CHECKS.enabled:
+            return CheckedWeightOrderCursor(postings, stats, use_skip_list)
         return WeightOrderCursor(postings, stats, use_skip_list)
 
     def id_cursor(

@@ -25,6 +25,7 @@ from __future__ import annotations
 import bisect
 from typing import List, Optional, Sequence, Tuple
 
+from ..contracts import CHECKS, ContractViolation
 from ..core.errors import StorageError
 from .pages import IOStats
 
@@ -139,6 +140,15 @@ class SkipList:
         # with thinning it is a conservative lower bound.
         if idx < 0:
             return 0
+        # CHECKS.enabled read inline: seek_ge is hot and must stay free
+        # of function-call overhead when contracts are disarmed.
+        if CHECKS.enabled and not self._keys[idx] < key:
+            raise ContractViolation(
+                "length-boundedness",
+                f"skip descent for {key!r} stopped on tower key "
+                f"{self._keys[idx]!r}, which is not strictly below the "
+                "target; seek_ge would overshoot the window boundary",
+            )
         return min(self._positions[idx] + 1, self._n)
 
     def min_key(self) -> Optional[Tuple[float, int]]:

@@ -1,10 +1,20 @@
-"""Shared fixtures: small deterministic corpora and searchers."""
+"""Shared fixtures: small deterministic corpora and searchers.
+
+The whole suite runs with the runtime invariant contracts armed
+(``repro.contracts``): any test that silently produced an unsorted
+posting list, a non-monotone frontier, or an out-of-window result now
+fails loudly instead.  Must be set before ``repro`` is first imported —
+the contracts module snapshots the environment at import time.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+
+os.environ.setdefault("REPRO_CHECK_INVARIANTS", "1")
 
 from repro import SetCollection, SetSimilaritySearcher
 from repro.core.tokenize import QGramTokenizer

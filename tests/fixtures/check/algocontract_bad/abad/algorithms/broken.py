@@ -1,0 +1,68 @@
+"""Every way an algorithm class can break the base-class contract."""
+
+
+def register_algorithm(cls):
+    return cls
+
+
+class SelectionAlgorithm:
+    name = "abstract"
+
+    def search(self, query, tau):
+        return self._run(query, tau)
+
+    def _bounds(self, query, tau):
+        return (0.0, 1.0)
+
+    def _run(self, query, tau):
+        raise NotImplementedError
+
+
+class Unregistered(SelectionAlgorithm):
+    """(Section IV)"""
+
+    name = "unregistered"
+
+    def _run(self, query, tau):
+        return []
+
+
+@register_algorithm
+class Shadow(SelectionAlgorithm):
+    """(Section IV)"""
+
+    name = "shadow"
+
+    def _run(self, query, tau):
+        return []
+
+    def search(self, query, tau):  # overrides the shared template
+        return []
+
+    def _bounds(self, query, tau):  # overrides the shared template
+        return ()
+
+
+@register_algorithm
+class NoRun(SelectionAlgorithm):
+    """(Section IV)"""
+
+    name = "norun"
+
+
+@register_algorithm
+class Sentinel(SelectionAlgorithm):
+    """(Section IV)"""
+
+    name = "abstract"
+
+    def _run(self, query, tau):
+        return []
+
+
+@register_algorithm
+class Nameless(SelectionAlgorithm):
+    """(Section IV)"""
+
+    def _run(self, query, tau):
+        return []

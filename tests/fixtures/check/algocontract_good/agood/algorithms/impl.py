@@ -1,0 +1,45 @@
+"""A well-behaved algorithm module: everything registered and wired."""
+
+
+def register_algorithm(cls):
+    return cls
+
+
+class SelectionAlgorithm:
+    name = "abstract"
+
+    def search(self, query, tau):
+        return self._run(query, tau)
+
+    def _bounds(self, query, tau):
+        return (0.0, 1.0)
+
+    def _run(self, query, tau):
+        raise NotImplementedError
+
+
+class Intermediate(SelectionAlgorithm):  # repro-check: abstract-algorithm
+    """Shared plumbing for the concrete variants below."""
+
+
+@register_algorithm
+class Good(Intermediate):
+    """Round-robin merge over weight-ordered lists (Section V,
+    Algorithm 2)."""
+
+    name = "good"
+
+    def _run(self, query, tau):
+        return []
+
+
+class CallRegistered(SelectionAlgorithm):
+    """Depth-first list-at-a-time variant (Section VI, Algorithm 3)."""
+
+    name = "call-registered"
+
+    def _run(self, query, tau):
+        return []
+
+
+register_algorithm(CallRegistered)

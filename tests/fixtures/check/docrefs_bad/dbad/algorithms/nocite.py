@@ -1,0 +1,23 @@
+"""Registered algorithm classes whose docstrings cite nothing."""
+
+
+def register_algorithm(cls):
+    return cls
+
+
+@register_algorithm
+class NoCite:
+    """A very fast algorithm with excellent pruning."""
+
+    name = "nocite"
+
+    def _run(self, query, tau):
+        return []
+
+
+@register_algorithm
+class NoDoc:
+    name = "nodoc"
+
+    def _run(self, query, tau):
+        return []

@@ -1,0 +1,25 @@
+"""Bad: raw equality on similarity scores, four flavours."""
+
+
+def exact_score(score: float, best_score: float) -> bool:
+    return score == best_score  # names on both sides
+
+
+def tau_vs_threshold(tau: float, threshold: float) -> bool:
+    return tau != threshold  # inequality counts too
+
+
+def attribute_operand(result, expected: float) -> bool:
+    return result.score == expected  # attribute named 'score'
+
+
+def tuple_operand(a, b) -> bool:
+    return (a.set_id, a.score) == (b.set_id, b.score)  # inside a tuple
+
+
+def call_operand(candidate, query) -> bool:
+    return similarity(candidate, query) == 1.0  # call named 'similarity'
+
+
+def similarity(candidate, query) -> float:
+    return 1.0

@@ -1,0 +1,27 @@
+"""Good: tolerance comparisons and a pragma'd identity comparison."""
+
+import math
+
+SCORE_EPSILON = 1e-9
+
+
+def close(score: float, threshold: float) -> bool:
+    return math.isclose(score, threshold, abs_tol=SCORE_EPSILON)
+
+
+def above(score: float, threshold: float) -> bool:
+    return score >= threshold - SCORE_EPSILON
+
+
+def same_result(a, b) -> bool:
+    # Identity semantics, not numeric equality.
+    return (a.set_id, a.score) == (b.set_id, b.score)  # repro-check: allow-float-eq
+
+
+def same_result_pragma_above(a, b) -> bool:
+    # repro-check: allow-float-eq
+    return a.score == b.score
+
+
+def counts_are_fine(left_count: int, right_count: int) -> bool:
+    return left_count == right_count  # not score-ish: no violation

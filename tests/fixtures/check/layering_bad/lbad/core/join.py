@@ -1,0 +1,7 @@
+"""Bad: core imports upward from storage at module level."""
+
+from ..storage import lists  # upward: core(0) -> storage(2), violation
+
+
+def join():
+    return lists.build()

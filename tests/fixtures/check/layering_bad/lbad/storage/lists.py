@@ -1,0 +1,7 @@
+"""Bad: storage imports sideways from data (same rank)."""
+
+from ..data import stuff  # sideways: storage(2) -> data(2), violation
+
+
+def build():
+    return stuff.VALUE

@@ -1,0 +1,11 @@
+"""Algorithms layer: downward imports only."""
+
+from ..storage import lists  # downward: algorithms(3) -> storage(2)
+
+
+class Runner:
+    pass
+
+
+def run():
+    return lists.build(1, 2)

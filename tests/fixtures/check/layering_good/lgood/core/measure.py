@@ -1,0 +1,7 @@
+"""Bottom layer: imports nothing from the package."""
+
+import math
+
+
+def weight(df: int, n: int) -> float:
+    return math.log(1 + n / df)

@@ -1,0 +1,23 @@
+"""Storage layer: downward imports plus both sanctioned escapes."""
+
+from typing import TYPE_CHECKING
+
+from ..core import measure  # downward: storage(2) -> core(0), allowed
+
+if TYPE_CHECKING:  # annotation-only upward import: sanctioned
+    from ..algorithms import alg
+
+
+def build(df: int, n: int) -> float:
+    return measure.weight(df, n)
+
+
+def dispatch():
+    # Late (function-body) upward import: sanctioned escape hatch.
+    from ..algorithms import alg as algorithms_alg
+
+    return algorithms_alg.run()
+
+
+def annotated(a: "alg.Runner") -> None:
+    return None

@@ -14,7 +14,6 @@ from hypothesis import strategies as st
 
 from repro import SetCollection, SetSimilaritySearcher, algorithm_names
 from repro.core.errors import InvalidThresholdError, UnknownAlgorithmError
-from repro.algorithms import make_algorithm
 
 ALGOS = algorithm_names()
 VARIANT_ALGOS = ["inra", "ita", "sf", "hybrid"]

@@ -103,7 +103,11 @@ class TestRangeScan:
         assert stats.sequential_pages >= tree.num_leaves
         assert stats.elements_read == len(got) == 1000
 
-    @given(st.lists(st.integers(0, 500), min_size=0, max_size=200), st.integers(0, 500), st.integers(0, 500))
+    @given(
+        st.lists(st.integers(0, 500), min_size=0, max_size=200),
+        st.integers(0, 500),
+        st.integers(0, 500),
+    )
     @settings(max_examples=40, deadline=None)
     def test_range_scan_property(self, raw_keys, a, b):
         lo, hi = min(a, b), max(a, b)

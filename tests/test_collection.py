@@ -8,7 +8,7 @@ from repro.core.collection import (
     collection_summary,
 )
 from repro.core.errors import ConfigurationError, IndexNotBuiltError
-from repro.core.tokenize import QGramTokenizer, WordTokenizer
+from repro.core.tokenize import WordTokenizer
 
 
 class TestConstruction:

@@ -12,7 +12,6 @@ import pytest
 
 from repro import SetCollection, SetSimilaritySearcher
 from repro.relational.sqlbaseline import SqlBaseline
-from repro.storage.invlist import InvertedIndex
 
 
 @pytest.fixture(scope="module")

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.errors import ConfigurationError
 from repro.data.errors import (
-    GradedDataset,
     apply_modifications,
     make_all_levels,
     make_graded_dataset,
@@ -23,7 +22,6 @@ from repro.data.synthetic import (
     zipf_weights,
 )
 from repro.data.workloads import (
-    GRAM_BUCKETS,
     all_bucket_workloads,
     bucket_words,
     make_workload,

@@ -16,8 +16,15 @@ separations, and check them with the deterministic element counters:
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import SetCollection, SetSimilaritySearcher
+from repro.contracts import (
+    ContractViolation,
+    invariants_enabled,
+    set_invariant_checking,
+)
 
 
 def elements(searcher, q, tau, algo, **opts):
@@ -157,3 +164,70 @@ class TestLemma4Hybrid:
             hybrid = elements(searcher, q, tau, "hybrid")
             n_lists = 3
             assert hybrid <= sf + 3 * n_lists
+
+
+class TestContractsFireOnCorruption:
+    """Every lemma above leans on Order Preservation (Section IV): the
+    weight-ordered lists must be sorted by (length, id).  The runtime
+    contract layer (``repro.contracts``, armed suite-wide by conftest)
+    must catch a list that violates it — for *any* choice of which two
+    postings got swapped, not just a hand-picked pair."""
+
+    N_POSTINGS = 8
+
+    # setup/teardown rather than a fixture: hypothesis rejects
+    # function-scoped fixtures on @given tests.
+    def setup_method(self, method):
+        # conftest arms the contracts suite-wide via the environment, but
+        # arm explicitly here so these tests hold even when someone runs
+        # the suite with REPRO_CHECK_INVARIANTS=0.
+        self._previous_checking = set_invariant_checking(True)
+
+    def teardown_method(self, method):
+        set_invariant_checking(self._previous_checking)
+
+    def _fresh_searcher(self):
+        # Eight sets containing token 'b' with strictly increasing
+        # lengths (every posting pair strictly ordered), plus four sets
+        # without it so 'b' keeps a non-zero idf — at tau=0.1 iNRA scans
+        # the whole 'b' list (verified by the clean-index test below).
+        sets = [
+            ["b"] + [f"pad{i}_{j}" for j in range(i + 1)]
+            for i in range(self.N_POSTINGS)
+        ]
+        sets += [[f"other{i}"] for i in range(4)]
+        return SetSimilaritySearcher(SetCollection.from_token_sets(sets))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        i=st.integers(min_value=0, max_value=N_POSTINGS - 2),
+        extent=st.integers(min_value=1, max_value=N_POSTINGS - 1),
+    )
+    def test_unsorted_list_trips_order_preservation(self, i, extent):
+        assert invariants_enabled()
+        searcher = self._fresh_searcher()
+        records = searcher.index._postings["b"].weight_file._records
+        j = min(i + extent, len(records) - 1)
+        records[i], records[j] = records[j], records[i]
+        with pytest.raises(ContractViolation):
+            # tau low enough that nothing prunes: the cursor walks the
+            # whole list and must see the descent the swap created.
+            searcher.search(["b"], 0.1, algorithm="inra")
+
+    def test_clean_index_scans_whole_list(self):
+        searcher = self._fresh_searcher()
+        result = searcher.search(["b"], 0.1, algorithm="inra")
+        assert result.stats.elements_read == self.N_POSTINGS
+
+    def test_disabled_contracts_do_not_fire(self):
+        searcher = self._fresh_searcher()
+        records = searcher.index._postings["b"].weight_file._records
+        records[0], records[-1] = records[-1], records[0]
+        previous = set_invariant_checking(False)
+        try:
+            # No ContractViolation: the plain cursor scans silently (the
+            # answer may be wrong — that is exactly the failure mode the
+            # armed mode exists to surface).
+            searcher.search(["b"], 0.1, algorithm="inra")
+        finally:
+            set_invariant_checking(previous)

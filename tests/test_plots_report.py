@@ -1,6 +1,5 @@
 """Tests for the ASCII plotting helpers and the report builder."""
 
-import pytest
 
 from repro.eval.plots import bar_chart, line_chart, sparkline
 from repro.eval.report import SECTIONS, build_report, coverage, write_report

@@ -1,6 +1,5 @@
 """Unit tests for PreparedQuery."""
 
-import math
 
 import pytest
 

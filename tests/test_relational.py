@@ -12,7 +12,6 @@ from repro.relational.engine import (
     having,
     project,
     select,
-    table_scan,
 )
 from repro.relational.sqlbaseline import SqlBaseline
 from repro.relational.table import Schema, Table

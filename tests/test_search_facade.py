@@ -8,7 +8,7 @@ from repro import (
     StringMatcher,
     algorithm_names,
 )
-from repro.core.tokenize import QGramTokenizer, WordTokenizer
+from repro.core.tokenize import WordTokenizer
 
 
 class TestSetSimilaritySearcher:

@@ -84,7 +84,6 @@ class TestOrderingBehaviour:
         # With prescribed statistics (idf decoupled from list length), the
         # strategies genuinely diverge: a high-idf token can own a long
         # list.  Answers must still agree.
-        import math
 
         from tests.test_paper_figures import FixedStats, ManualIndex
         from repro.algorithms import make_algorithm

@@ -1,0 +1,189 @@
+"""Tests for the custom static-analysis suite (``tools/check``).
+
+Each pass gets good/bad fixture packages under ``tests/fixtures/check``;
+the suite is also run over ``src/repro`` itself, which must be clean
+modulo the committed layering baseline.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "check"
+
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.check import run_checks  # noqa: E402
+from tools.check import algocontract, docrefs, floatcmp, layering  # noqa: E402
+from tools.check.base import load_modules  # noqa: E402
+from tools.check.baseline import read_baseline  # noqa: E402
+from tools.check.cli import DEFAULT_BASELINE  # noqa: E402
+
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def modules_of(*fixture_names):
+    return load_modules([FIXTURES / name for name in fixture_names])
+
+
+def run_cli(*args):
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.check", *args],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+class TestRepoIsClean:
+    def test_suite_passes_on_src(self):
+        assert run_checks([SRC]) == []
+
+    def test_cli_exits_zero_on_src(self):
+        code, output = run_cli("src/repro")
+        assert code == 0, output
+
+    def test_burned_down_edges_stay_out_of_baseline(self):
+        baseline = read_baseline(DEFAULT_BASELINE)
+        for edge in layering.BURNED_DOWN:
+            assert edge not in baseline
+        # The ratchet only ever shrinks from the 11 grandfathered edges.
+        assert len(baseline) <= 11
+
+
+class TestLayeringPass:
+    def test_good_fixture_clean(self):
+        assert layering.run(modules_of("layering_good")) == []
+
+    def test_upward_import_flagged(self):
+        violations = layering.run(modules_of("layering_bad"))
+        messages = [repr(v) for v in violations]
+        assert any("upward import" in m and "core/join.py" in m
+                   for m in messages)
+
+    def test_sideways_import_flagged(self):
+        violations = layering.run(modules_of("layering_bad"))
+        messages = [repr(v) for v in violations]
+        assert any("sideways import" in m and "storage/lists.py" in m
+                   for m in messages)
+
+    def test_baseline_tolerates_known_edge(self):
+        modules = modules_of("layering_bad")
+        keys = layering.generate_baseline(modules)
+        assert len(keys) == 2
+        assert layering.run(modules, baseline=set(keys)) == []
+
+    def test_stale_baseline_entry_flagged(self):
+        # 'lgood.core.measure' is scanned but has no storage import: a
+        # baseline entry grandfathering one is stale and must go.
+        violations = layering.run(
+            modules_of("layering_good"),
+            baseline={"lgood.core.measure -> lgood.storage"},
+        )
+        assert len(violations) == 1
+        assert "stale baseline entry" in repr(violations[0])
+
+    def test_stale_detection_skips_unscanned_modules(self):
+        # A partial scan must not misread baseline entries for modules
+        # outside the scan as stale.
+        violations = layering.run(
+            modules_of("layering_good"),
+            baseline={"repro.core.weighted -> repro.storage"},
+        )
+        assert violations == []
+
+    def test_late_and_type_checking_imports_sanctioned(self):
+        # layering_good's storage/lists.py imports algorithms upward both
+        # ways the pass sanctions; neither may produce an edge.
+        modules = modules_of("layering_good")
+        edges = layering.layering_edges(modules, "lgood")
+        upward = [
+            (m.name, target) for m, _line, _src, target in edges
+            if target == "algorithms"
+        ]
+        assert upward == []
+
+
+class TestFloatEqualityPass:
+    def test_good_fixture_clean(self):
+        assert floatcmp.run(modules_of("floatcmp_good.py")) == []
+
+    def test_bad_fixture_all_flavours_flagged(self):
+        violations = floatcmp.run(modules_of("floatcmp_bad.py"))
+        # name==name, tau!=threshold, attribute, tuple, call operand.
+        assert len(violations) == 5
+        assert {v.line for v in violations} == {5, 9, 13, 17, 21}
+
+    def test_cli_exits_nonzero_on_bad_fixture(self):
+        code, output = run_cli(str(FIXTURES / "floatcmp_bad.py"))
+        assert code == 1
+        assert "float-equality" in output
+
+
+class TestAlgorithmContractPass:
+    def test_good_fixture_clean(self):
+        assert algocontract.run(modules_of("algocontract_good")) == []
+
+    def test_bad_fixture_every_breakage_flagged(self):
+        violations = algocontract.run(modules_of("algocontract_bad"))
+        messages = " ".join(repr(v) for v in violations)
+        assert "Unregistered" in messages and "not registered" in messages
+        assert "`search`" in messages and "`_bounds`" in messages
+        assert "NoRun" in messages and "never implements `_run`" in messages
+        assert "Sentinel" in messages and "'abstract'" in messages
+        assert "Nameless" in messages and "`name` class" in messages
+        assert len(violations) == 6  # Shadow counts twice
+
+    def test_cli_exits_nonzero_on_bad_fixture(self):
+        code, output = run_cli(str(FIXTURES / "algocontract_bad"))
+        assert code == 1
+        assert "algorithm-contract" in output
+
+
+class TestPaperReferencePass:
+    def test_good_fixture_clean(self):
+        assert docrefs.run(modules_of("algocontract_good")) == []
+
+    def test_missing_citation_and_docstring_flagged(self):
+        violations = docrefs.run(modules_of("docrefs_bad"))
+        messages = " ".join(repr(v) for v in violations)
+        assert len(violations) == 2
+        assert "NoCite" in messages and "cites no paper construct" in messages
+        assert "NoDoc" in messages and "no class docstring" in messages
+
+    def test_cli_exits_nonzero_on_bad_fixture(self):
+        code, output = run_cli(str(FIXTURES / "docrefs_bad"))
+        assert code == 1
+        assert "paper-reference" in output
+
+
+class TestCliBehaviour:
+    def test_select_unknown_pass_is_usage_error(self):
+        code, output = run_cli("--select", "bogus")
+        assert code == 2
+        assert "unknown pass" in output
+
+    def test_select_limits_passes(self):
+        code, output = run_cli(
+            "--select", "layering", str(FIXTURES / "floatcmp_bad.py")
+        )
+        assert code == 0  # float violations exist but pass not selected
+
+    def test_list_passes(self):
+        code, output = run_cli("--list-passes")
+        assert code == 0
+        for name in ("layering", "float-equality", "algorithm-contract",
+                     "paper-reference"):
+            assert name in output
+
+    def test_repro_check_subcommand(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "check", "src/repro"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -4,7 +4,7 @@ import pytest
 
 from repro import SetCollection, SetSimilaritySearcher
 from repro.core.errors import StorageError
-from repro.core.validation import ValidationReport, validate_index
+from repro.core.validation import validate_index
 from repro.storage.invlist import InvertedIndex
 
 

@@ -1,0 +1,52 @@
+"""Custom static-analysis suite for the repro codebase.
+
+Four AST passes over the source tree:
+
+* ``layering`` — import-layer DAG with a ratcheting baseline;
+* ``float-equality`` — no ``==``/``!=`` on similarity scores;
+* ``algorithm-contract`` — registry/interface contract for selection
+  algorithms;
+* ``paper-reference`` — registered algorithms cite the paper construct
+  they implement.
+
+Run via ``python -m tools.check`` or ``repro check``.
+"""
+
+from . import algocontract, docrefs, floatcmp, layering  # noqa: F401
+from .base import CheckError, ModuleInfo, Violation, load_modules
+from .cli import main
+
+__all__ = [
+    "CheckError",
+    "ModuleInfo",
+    "Violation",
+    "load_modules",
+    "main",
+    "run_checks",
+]
+
+
+def run_checks(paths, baseline_path=None):
+    """Programmatic entry point: run every pass over ``paths``.
+
+    Returns a sorted list of :class:`Violation`.  ``baseline_path``
+    overrides the committed layering baseline (pass a path to an empty
+    or missing file to see *all* layering edges).
+    """
+    from pathlib import Path
+
+    from .baseline import read_baseline
+    from .cli import DEFAULT_BASELINE
+
+    modules = load_modules([Path(p) for p in paths])
+    resolved = Path(baseline_path) if baseline_path else DEFAULT_BASELINE
+    violations = layering.run(
+        modules,
+        baseline=read_baseline(resolved),
+        baseline_path=str(resolved),
+    )
+    violations.extend(floatcmp.run(modules))
+    violations.extend(algocontract.run(modules))
+    violations.extend(docrefs.run(modules))
+    violations.sort(key=lambda v: v.sort_key)
+    return violations

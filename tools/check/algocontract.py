@@ -1,0 +1,200 @@
+"""Algorithm-contract pass: every selection algorithm honours the base
+class protocol.
+
+The benchmark harness, the CLI and the facade all dispatch through the
+``repro.algorithms.base`` registry; an algorithm that forgets to
+register, skips the ``_run`` hook, or overrides the shared pruning
+plumbing silently disappears from benchmarks or bypasses the uniform
+threshold/length-floor semantics.  For every class in the
+``algorithms`` package that (transitively, syntactically) subclasses
+``SelectionAlgorithm`` this pass requires:
+
+1. **registration** — decorated with ``@register_algorithm`` (or passed
+   to ``register_algorithm(...)`` at module level);
+2. **a ``name``** — a string class attribute distinct from the base's
+   ``"abstract"`` sentinel;
+3. **the ``_run`` hook** — implemented by the class or an intermediate
+   base, never the abstract default;
+4. **no shadowing** — the base pruning template methods ``search`` and
+   ``_bounds`` must not be overridden (implement ``_run`` instead), so
+   the timing, effective-threshold, length-floor and invariant-checking
+   behaviour stays uniform across algorithms.
+
+Intermediate abstract bases may opt out of 1–3 with the pragma
+``# repro-check: abstract-algorithm`` on the class definition line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set
+
+from .base import ModuleInfo, Violation
+
+CHECK_NAME = "algorithm-contract"
+PRAGMA_NAME = "abstract-algorithm"
+
+BASE_CLASS = "SelectionAlgorithm"
+REGISTER_DECORATOR = "register_algorithm"
+PROTECTED_METHODS = ("search", "_bounds")
+ALGORITHMS_SEGMENT = "algorithms"
+
+
+class _ClassRecord:
+    __slots__ = ("module", "node", "bases", "methods", "name_attr",
+                 "registered")
+
+    def __init__(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        self.module = module
+        self.node = node
+        self.bases = [_base_name(b) for b in node.bases]
+        self.methods: Set[str] = {
+            stmt.name
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        self.name_attr = _class_name_attr(node)
+        self.registered = any(
+            _decorator_name(d) == REGISTER_DECORATOR
+            for d in node.decorator_list
+        )
+
+
+def _base_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _decorator_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Call):
+        node = node.func
+    return _base_name(node)
+
+
+def _class_name_attr(node: ast.ClassDef) -> Optional[str]:
+    """The literal value of a ``name = "..."`` class attribute, if any."""
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "name":
+                    if isinstance(stmt.value, ast.Constant) and isinstance(
+                        stmt.value.value, str
+                    ):
+                        return stmt.value.value
+                    return ""
+    return None
+
+
+def _module_level_registrations(module: ModuleInfo) -> Set[str]:
+    """Classes registered via ``register_algorithm(Cls)`` call form."""
+    registered: Set[str] = set()
+    for node in module.tree.body:
+        value = node.value if isinstance(node, (ast.Expr, ast.Assign)) else None
+        if (
+            isinstance(value, ast.Call)
+            and _decorator_name(value) == REGISTER_DECORATOR
+            and value.args
+            and isinstance(value.args[0], ast.Name)
+        ):
+            registered.add(value.args[0].id)
+    return registered
+
+
+def _in_algorithms_package(module: ModuleInfo) -> bool:
+    parts = module.name.split(".")
+    return ALGORITHMS_SEGMENT in parts[:-1] or (
+        module.path.name == "__init__.py" and parts and parts[-1] == ALGORITHMS_SEGMENT
+    )
+
+
+def run(modules: Sequence[ModuleInfo]) -> List[Violation]:
+    scoped = [m for m in modules if _in_algorithms_package(m)]
+    records: Dict[str, _ClassRecord] = {}
+    call_registered: Set[str] = set()
+    for module in scoped:
+        call_registered |= _module_level_registrations(module)
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                records[node.name] = _ClassRecord(module, node)
+
+    def subclasses_base(name: str, trail: Set[str]) -> bool:
+        if name == BASE_CLASS:
+            return True
+        record = records.get(name)
+        if record is None or name in trail:
+            return False
+        trail.add(name)
+        return any(subclasses_base(b, trail) for b in record.bases)
+
+    def inherits_run(record: _ClassRecord, trail: Set[str]) -> bool:
+        if "_run" in record.methods:
+            return True
+        for base in record.bases:
+            if base == BASE_CLASS or base in trail:
+                continue
+            trail.add(base)
+            parent = records.get(base)
+            if parent is not None and inherits_run(parent, trail):
+                return True
+        return False
+
+    violations: List[Violation] = []
+    for class_name, record in records.items():
+        if class_name == BASE_CLASS:
+            continue
+        if not any(subclasses_base(b, {class_name}) for b in record.bases):
+            continue
+        if record.module.line_has_pragma(record.node.lineno, PRAGMA_NAME):
+            continue
+        path = str(record.module.path)
+        line = record.node.lineno
+
+        registered = record.registered or class_name in call_registered
+        if not registered:
+            violations.append(
+                Violation(
+                    path, line, CHECK_NAME,
+                    f"{class_name} subclasses {BASE_CLASS} but is not "
+                    "registered; decorate it with @register_algorithm so "
+                    "the factory, CLI and benchmarks can reach it",
+                )
+            )
+        if record.name_attr is None:
+            violations.append(
+                Violation(
+                    path, line, CHECK_NAME,
+                    f"{class_name} does not declare a `name` class "
+                    "attribute; the registry keys algorithms by name",
+                )
+            )
+        elif record.name_attr == "abstract":
+            violations.append(
+                Violation(
+                    path, line, CHECK_NAME,
+                    f"{class_name} keeps the base sentinel name "
+                    "'abstract'; give it a real registry name",
+                )
+            )
+        if not inherits_run(record, {class_name}):
+            violations.append(
+                Violation(
+                    path, line, CHECK_NAME,
+                    f"{class_name} never implements `_run`; the base "
+                    "`search` template would raise NotImplementedError",
+                )
+            )
+        for method in PROTECTED_METHODS:
+            if method in record.methods:
+                violations.append(
+                    Violation(
+                        path, line, CHECK_NAME,
+                        f"{class_name} overrides the shared pruning "
+                        f"template `{method}`; implement `_run` instead "
+                        "so threshold/length-floor/invariant handling "
+                        "stays uniform",
+                    )
+                )
+    return violations

@@ -1,0 +1,212 @@
+"""Shared infrastructure for the custom AST lint passes.
+
+Every pass receives the same parsed view of the tree under analysis —
+a list of :class:`ModuleInfo` — and returns :class:`Violation` records.
+Module discovery walks a directory, parses each ``*.py`` file once, and
+derives dotted module names from the package structure (the nearest
+ancestor directory without an ``__init__.py`` is the import root), so
+the passes work identically on ``src/repro`` and on the miniature
+package trees under ``tests/fixtures/check/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence
+
+PRAGMA = "repro-check:"
+
+
+class Violation:
+    """One finding: where, which pass, and what is wrong."""
+
+    __slots__ = ("path", "line", "check", "message")
+
+    def __init__(self, path: str, line: int, check: str, message: str) -> None:
+        self.path = path
+        self.line = line
+        self.check = check
+        self.message = message
+
+    @property
+    def sort_key(self):
+        return (self.path, self.line, self.check, self.message)
+
+    def __repr__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+class ModuleInfo:
+    """One parsed source file plus its resolved dotted module name."""
+
+    __slots__ = ("path", "name", "tree", "lines")
+
+    def __init__(
+        self, path: Path, name: str, tree: ast.AST, lines: List[str]
+    ) -> None:
+        self.path = path
+        self.name = name
+        self.tree = tree
+        self.lines = lines
+
+    @property
+    def package_parts(self) -> List[str]:
+        """Dotted-name parts of the *package* containing this module."""
+        parts = self.name.split(".")
+        if self.path.name == "__init__.py":
+            return parts
+        return parts[:-1]
+
+    def line_has_pragma(self, line: int, pragma: str) -> bool:
+        """Whether ``# repro-check: <pragma>`` appears on the given line
+        or the line directly above it (for wrapped statements)."""
+        for candidate in (line, line - 1):
+            if 1 <= candidate <= len(self.lines):
+                text = self.lines[candidate - 1]
+                if PRAGMA in text and pragma in text.split(PRAGMA, 1)[1]:
+                    return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"ModuleInfo({self.name}, {self.path})"
+
+
+class CheckError(Exception):
+    """The analyzer itself could not run (bad path, unparseable file)."""
+
+
+def find_package_root(path: Path) -> Path:
+    """The directory that dotted module names are relative to.
+
+    Walks upward from ``path`` while the directory holds an
+    ``__init__.py``; the first ancestor *without* one is the import
+    root (the directory you would put on ``sys.path``).
+    """
+    current = path if path.is_dir() else path.parent
+    while (current / "__init__.py").exists() and current.parent != current:
+        current = current.parent
+    return current
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    relative = path.relative_to(root).with_suffix("")
+    parts = list(relative.parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def iter_source_files(target: Path) -> Iterator[Path]:
+    if target.is_file():
+        yield target
+        return
+    for path in sorted(target.rglob("*.py")):
+        yield path
+
+
+def load_modules(targets: Sequence[Path]) -> List[ModuleInfo]:
+    """Parse every python file under the targets into ModuleInfo records."""
+    modules: List[ModuleInfo] = []
+    for target in targets:
+        if not target.exists():
+            raise CheckError(f"no such path: {target}")
+        root = find_package_root(target)
+        for path in iter_source_files(target):
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                raise CheckError(f"cannot parse {path}: {exc}") from exc
+            modules.append(
+                ModuleInfo(
+                    path=path,
+                    name=module_name_for(path, root),
+                    tree=tree,
+                    lines=source.splitlines(),
+                )
+            )
+    return modules
+
+
+def is_type_checking_test(test: ast.expr) -> bool:
+    """Whether an ``if`` test is the ``TYPE_CHECKING`` guard."""
+    if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+        return True
+    return (
+        isinstance(test, ast.Attribute)
+        and test.attr == "TYPE_CHECKING"
+        and isinstance(test.value, ast.Name)
+        and test.value.id == "typing"
+    )
+
+
+class ModuleLevelImportVisitor(ast.NodeVisitor):
+    """Collects import statements that bind at module import time.
+
+    Imports inside function bodies are deliberately ignored — late
+    imports are the sanctioned escape hatch for breaking layering
+    cycles — as are imports under ``if TYPE_CHECKING:`` (annotation-only
+    dependencies never execute).
+    """
+
+    def __init__(self) -> None:
+        self.imports: List[ast.stmt] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return  # function bodies: late imports are allowed
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+    def visit_If(self, node: ast.If) -> None:
+        if is_type_checking_test(node.test):
+            for stmt in node.orelse:
+                self.visit(stmt)
+            return
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self.imports.append(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.imports.append(node)
+
+
+def module_level_imports(tree: ast.AST) -> List[ast.stmt]:
+    visitor = ModuleLevelImportVisitor()
+    visitor.visit(tree)
+    return visitor.imports
+
+
+def resolve_import_targets(
+    module: ModuleInfo, node: ast.stmt
+) -> List[Optional[str]]:
+    """Absolute dotted targets of one import statement.
+
+    Returns one entry per imported name; relative imports are resolved
+    against the module's package.  ``None`` marks a relative import that
+    escapes above the scanned tree (cannot happen for well-formed
+    packages).
+    """
+    targets: List[Optional[str]] = []
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            targets.append(alias.name)
+    elif isinstance(node, ast.ImportFrom):
+        if node.level == 0:
+            targets.append(node.module or "")
+        else:
+            package = module.package_parts
+            hops = node.level - 1
+            if hops > len(package):
+                targets.append(None)
+            else:
+                base = package[: len(package) - hops]
+                if node.module:
+                    base = base + node.module.split(".")
+                targets.append(".".join(base))
+    return targets

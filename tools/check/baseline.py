@@ -1,0 +1,36 @@
+"""Reading and writing the layering-violation baseline file.
+
+Format: one ``importer.module -> imported.package`` key per line,
+sorted; ``#`` starts a comment.  The file is a *ratchet* — entries may
+only ever be removed (by fixing the violation they grandfather in).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Set
+
+HEADER = """\
+# Layering-violation baseline (ratchet file) — see docs/static_analysis.md.
+#
+# Each line grandfathers one existing module-level import that violates
+# the declared layer DAG.  New violations are NOT tolerated; fixing a
+# violation requires deleting its line here (stale entries fail the
+# check).  Never add lines without a design discussion.
+"""
+
+
+def read_baseline(path: Path) -> Set[str]:
+    if not path.exists():
+        return set()
+    entries: Set[str] = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            entries.add(line)
+    return entries
+
+
+def write_baseline(path: Path, entries: List[str]) -> None:
+    body = "\n".join(sorted(set(entries)))
+    path.write_text(HEADER + body + ("\n" if body else ""), encoding="utf-8")

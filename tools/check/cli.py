@@ -1,0 +1,126 @@
+"""Command-line driver for the static-analysis suite.
+
+Usage::
+
+    python -m tools.check [paths ...] [options]
+    repro check [paths ...] [options]       # same thing via the CLI
+
+With no paths the repository's ``src/repro`` tree is checked against
+the committed layering baseline.  Exit code 0 means clean, 1 means
+violations, 2 means the analyzer could not run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import IO, List, Optional
+
+from . import algocontract, docrefs, floatcmp, layering
+from .base import CheckError, load_modules
+from .baseline import read_baseline, write_baseline
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+DEFAULT_TARGET = REPO_ROOT / "src" / "repro"
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "layering_baseline.txt"
+
+PASSES = {
+    layering.CHECK_NAME: None,  # handled specially (baseline)
+    floatcmp.CHECK_NAME: floatcmp.run,
+    algocontract.CHECK_NAME: algocontract.run,
+    docrefs.CHECK_NAME: docrefs.run,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.check",
+        description=(
+            "Custom AST lint suite: import layering, float-equality on "
+            "scores, algorithm registry contract, paper citations."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or package directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE),
+        help="layering baseline file (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="regenerate the layering baseline from the current tree "
+        "instead of checking (use only when intentionally re-baselining)",
+    )
+    parser.add_argument(
+        "--select", default="",
+        help="comma-separated pass names to run "
+        f"(default: all of {', '.join(PASSES)})",
+    )
+    parser.add_argument(
+        "--list-passes", action="store_true", help="list passes and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out: IO[str] = sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_passes:
+        for name in PASSES:
+            print(name, file=out)
+        return 0
+
+    selected = [s.strip() for s in args.select.split(",") if s.strip()]
+    for name in selected:
+        if name not in PASSES:
+            print(
+                f"error: unknown pass {name!r} "
+                f"(available: {', '.join(PASSES)})",
+                file=sys.stderr,
+            )
+            return 2
+    active = selected or list(PASSES)
+
+    targets = [Path(p) for p in args.paths] or [DEFAULT_TARGET]
+    try:
+        modules = load_modules(targets)
+    except CheckError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        entries = layering.generate_baseline(modules)
+        write_baseline(baseline_path, entries)
+        print(
+            f"wrote {len(entries)} baseline entries -> {baseline_path}",
+            file=out,
+        )
+        return 0
+
+    violations = []
+    if layering.CHECK_NAME in active:
+        violations.extend(
+            layering.run(
+                modules,
+                baseline=read_baseline(baseline_path),
+                baseline_path=str(baseline_path),
+            )
+        )
+    for name in active:
+        runner = PASSES[name]
+        if runner is not None:
+            violations.extend(runner(modules))
+
+    violations.sort(key=lambda v: v.sort_key)
+    for violation in violations:
+        print(violation, file=out)
+    summary = (
+        f"{len(violations)} violation(s) across "
+        f"{len(modules)} module(s), passes: {', '.join(active)}"
+    )
+    print(("FAIL: " if violations else "ok: ") + summary, file=out)
+    return 1 if violations else 0

@@ -1,0 +1,100 @@
+"""Float-equality lint: no ``==``/``!=`` on similarity scores.
+
+Similarity scores are floating-point sums whose association order
+differs between engines; comparing them with ``==`` or ``!=`` is how
+threshold boundaries silently desynchronize (the whole reason
+``repro.core.properties.SCORE_EPSILON`` exists).  This pass flags
+equality comparisons where either operand *names* a score — an
+identifier, attribute, or call whose name mentions ``score``,
+``similarity``, ``tau`` or ``threshold`` — including inside tuple
+operands.
+
+Sanctioned escapes:
+
+* the tolerance helpers in ``repro.core.properties`` (the one approved
+  home for raw comparisons);
+* an explicit ``# repro-check: allow-float-eq`` pragma on the line, for
+  intentional exact comparisons (identity semantics, not numerics).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Sequence
+
+from .base import ModuleInfo, Violation
+
+CHECK_NAME = "float-equality"
+PRAGMA_NAME = "allow-float-eq"
+
+# Modules whose raw comparisons are the approved tolerance helpers.
+APPROVED_MODULES = frozenset({"repro.core.properties"})
+
+_SCORE_WORDS = frozenset(
+    {"score", "scores", "similarity", "similarities", "tau", "threshold",
+     "thresholds"}
+)
+_WORD_SPLIT = re.compile(r"[^a-zA-Z]+|(?<=[a-z])(?=[A-Z])")
+
+
+def _names_a_score(identifier: str) -> bool:
+    words = {w.lower() for w in _WORD_SPLIT.split(identifier) if w}
+    return bool(words & _SCORE_WORDS)
+
+
+def _leaf_nodes(node: ast.expr) -> Iterator[ast.expr]:
+    """The operand itself, or its elements when it is a tuple/list."""
+    if isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            yield from _leaf_nodes(element)
+    else:
+        yield node
+
+
+def _scoreish(node: ast.expr) -> bool:
+    for leaf in _leaf_nodes(node):
+        if isinstance(leaf, ast.Name) and _names_a_score(leaf.id):
+            return True
+        if isinstance(leaf, ast.Attribute) and _names_a_score(leaf.attr):
+            return True
+        if isinstance(leaf, ast.Call):
+            func = leaf.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            if _names_a_score(name):
+                return True
+    return False
+
+
+def run(modules: Sequence[ModuleInfo]) -> List[Violation]:
+    violations: List[Violation] = []
+    for module in modules:
+        if module.name in APPROVED_MODULES:
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if not (_scoreish(left) or _scoreish(right)):
+                    continue
+                if module.line_has_pragma(node.lineno, PRAGMA_NAME):
+                    continue
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                violations.append(
+                    Violation(
+                        str(module.path),
+                        node.lineno,
+                        CHECK_NAME,
+                        f"similarity scores compared with {symbol!r}; use "
+                        "the tolerance helpers in repro.core.properties "
+                        "(effective_threshold / SCORE_EPSILON), "
+                        "math.isclose, or mark an intentional identity "
+                        "comparison with '# repro-check: allow-float-eq'",
+                    )
+                )
+    return violations

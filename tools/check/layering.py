@@ -1,0 +1,233 @@
+"""Import-layering pass: enforce the declared module DAG.
+
+The package layers, from foundation to application::
+
+    core                     # measure, properties, collections, errors
+      └─ contracts           # runtime invariant checks (core only)
+          └─ data, storage   # corpora / physical index structures
+              └─ algorithms  # the selection algorithms
+                  └─ relational
+                      └─ eval
+                          └─ cli, __main__, package root
+
+A module may import its own layer or any *strictly lower* layer at
+module level.  Upward (or sideways, e.g. ``data ↔ storage``) imports
+are violations.  Two escape hatches are sanctioned and ignored by this
+pass:
+
+* **late imports** — an import inside a function body defers binding to
+  call time, breaking the cycle physically (this is how ``core.join``
+  and ``core.search`` dispatch into the algorithms registry);
+* **``if TYPE_CHECKING:`` imports** — annotation-only dependencies that
+  never execute.
+
+Existing violations live in ``layering_baseline.txt`` and only ratchet
+*down*: a baselined violation is tolerated, a new one fails the build,
+and a baseline entry whose violation has been fixed must be deleted
+(stale entries fail too).  Regenerate with ``--write-baseline`` only
+when intentionally re-baselining.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .base import ModuleInfo, Violation, module_level_imports, resolve_import_targets
+
+CHECK_NAME = "layering"
+
+# Layer ranks; a module may import packages of strictly lower rank (or
+# its own package).  Top-level *modules* of the root package (cli,
+# contracts, __main__) are layers of their own.
+LAYERS: Dict[str, int] = {
+    "core": 0,
+    "contracts": 1,
+    "data": 2,
+    "storage": 2,
+    "algorithms": 3,
+    "relational": 4,
+    "eval": 5,
+    "cli": 6,
+    "__main__": 7,
+    "": 7,  # the package root (__init__) re-exports everything
+}
+
+
+def segment_of(module_name: str, root: str) -> Optional[str]:
+    """The layer segment of a dotted module name, or None if the module
+    is outside the root package."""
+    if module_name == root:
+        return ""
+    prefix = root + "."
+    if not module_name.startswith(prefix):
+        return None
+    return module_name[len(prefix):].split(".", 1)[0]
+
+
+def detect_root_packages(modules: Sequence[ModuleInfo]) -> List[str]:
+    """Top-level packages that contain at least one declared layer.
+
+    The scan may mix trees (``src/repro`` plus ``tools``); the layer DAG
+    only applies to roots that actually use the layered package names,
+    so helper trees like ``tools`` are ignored rather than flagged as
+    having undeclared layers.
+    """
+    layered: Set[str] = set()
+    for module in modules:
+        parts = module.name.split(".")
+        if len(parts) >= 2 and parts[1] in LAYERS:
+            layered.add(parts[0])
+    return sorted(layered)
+
+
+def layering_edges(
+    modules: Sequence[ModuleInfo], root: str
+) -> List[Tuple[ModuleInfo, int, str, str]]:
+    """All module-level import edges internal to the root package.
+
+    Yields ``(module, lineno, source_segment, target_segment)``.
+    """
+    edges: List[Tuple[ModuleInfo, int, str, str]] = []
+    for module in modules:
+        source_segment = segment_of(module.name, root)
+        if source_segment is None:
+            continue
+        for node in module_level_imports(module.tree):
+            for target in resolve_import_targets(module, node):
+                if target is None:
+                    continue
+                target_segment = segment_of(target, root)
+                if target_segment is None or target_segment == "":
+                    # Outside the package, or the bare root package
+                    # (``from . import __version__``): not layered edges.
+                    continue
+                edges.append(
+                    (module, node.lineno, source_segment, target_segment)
+                )
+    return edges
+
+
+def edge_key(module_name: str, root: str, target_segment: str) -> str:
+    """Baseline identity of a violating edge: importer module -> package."""
+    return f"{module_name} -> {root}.{target_segment}"
+
+
+def run(
+    modules: Sequence[ModuleInfo],
+    baseline: Optional[Set[str]] = None,
+    baseline_path: str = "tools/check/layering_baseline.txt",
+) -> List[Violation]:
+    """Check every module-level internal import against the layer DAG."""
+    violations: List[Violation] = []
+    baseline = baseline or set()
+    seen_keys: Set[str] = set()
+
+    for root in detect_root_packages(modules):
+        violations.extend(
+            _check_root(modules, root, baseline, seen_keys)
+        )
+
+    # Ratchet: baselined edges that no longer exist must leave the file.
+    # Only judged for modules actually scanned, so a partial scan (one
+    # fixture directory, one file) does not misread the whole baseline
+    # as stale.
+    scanned = {m.name for m in modules}
+    stale_entries = sorted(
+        entry for entry in baseline - seen_keys
+        if entry.split(" -> ")[0] in scanned
+    )
+    for stale in stale_entries:
+        violations.append(
+            Violation(
+                baseline_path,
+                1,
+                CHECK_NAME,
+                f"stale baseline entry {stale!r}: the violation was fixed "
+                "— delete the line so it cannot regress",
+            )
+        )
+    return violations
+
+
+def _check_root(
+    modules: Sequence[ModuleInfo],
+    root: str,
+    baseline: Set[str],
+    seen_keys: Set[str],
+) -> List[Violation]:
+    violations: List[Violation] = []
+    for module, lineno, source_segment, target_segment in layering_edges(
+        modules, root
+    ):
+        if source_segment == target_segment:
+            continue
+        source_rank = LAYERS.get(source_segment)
+        target_rank = LAYERS.get(target_segment)
+        if source_rank is None:
+            violations.append(
+                Violation(
+                    str(module.path),
+                    1,
+                    CHECK_NAME,
+                    f"package {source_segment!r} has no declared layer; "
+                    "add it to tools/check/layering.py LAYERS",
+                )
+            )
+            continue
+        if target_rank is None:
+            violations.append(
+                Violation(
+                    str(module.path),
+                    lineno,
+                    CHECK_NAME,
+                    f"import target package {target_segment!r} has no "
+                    "declared layer; add it to tools/check/layering.py",
+                )
+            )
+            continue
+        if target_rank < source_rank:
+            continue  # downward import: allowed
+        key = edge_key(module.name, root, target_segment)
+        seen_keys.add(key)
+        if key in baseline:
+            continue
+        direction = "upward" if target_rank > source_rank else "sideways"
+        violations.append(
+            Violation(
+                str(module.path),
+                lineno,
+                CHECK_NAME,
+                f"{direction} import: {module.name} (layer "
+                f"{source_segment!r}, rank {source_rank}) must not import "
+                f"{root}.{target_segment} (rank {target_rank}) at module "
+                "level; use a late import or move the shared code down",
+            )
+        )
+    return violations
+
+
+def generate_baseline(modules: Sequence[ModuleInfo]) -> List[str]:
+    """The sorted baseline keys for every current layering violation."""
+    keys: Set[str] = set()
+    for root in detect_root_packages(modules):
+        for module, _lineno, source_segment, target_segment in layering_edges(
+            modules, root
+        ):
+            if source_segment == target_segment:
+                continue
+            source_rank = LAYERS.get(source_segment)
+            target_rank = LAYERS.get(target_segment)
+            if source_rank is None or target_rank is None:
+                continue
+            if target_rank >= source_rank:
+                keys.add(edge_key(module.name, root, target_segment))
+    return sorted(keys)
+
+
+# Referenced by docs and the self-test: these edges were burnt down when
+# the pass was introduced and must never come back.
+BURNED_DOWN = (
+    "repro.core.join -> repro.algorithms",
+    "repro.core.search -> repro.algorithms",
+    "repro.core.validation -> repro.storage",
+)
