@@ -2,18 +2,25 @@
 """Quickstart: set similarity selection in five minutes.
 
 Builds a small string collection, runs threshold and top-k queries through
-the high-level API, and shows the seven algorithms agreeing on the answers
-while doing very different amounts of work.
+the high-level API, shows the seven algorithms agreeing on the answers
+while doing very different amounts of work, and serves a batch of queries
+through the concurrent service layer (caching + coalescing + HTTP).
 
 Run:  python examples/quickstart.py
 """
 
+import json
+import urllib.request
+
 from repro import (
+    QGramTokenizer,
     SetCollection,
     SetSimilaritySearcher,
+    SimilarityService,
     StringMatcher,
     algorithm_names,
 )
+from repro.service import ServiceHTTPServer
 
 ADDRESSES = [
     "12 Main St., Main",
@@ -71,9 +78,56 @@ def token_sets_and_algorithms() -> None:
     print("sf, hybrid) read far fewer list elements — that is the paper.")
 
 
+def service_and_http() -> None:
+    print("\n=== Service layer: batches, caching, HTTP ===")
+    tokenizer = QGramTokenizer()
+    collection = SetCollection.from_strings(ADDRESSES, tokenizer)
+    searcher = SetSimilaritySearcher(collection)
+
+    with SimilarityService(searcher, tokenizer=tokenizer) as service:
+        queries = [
+            "12 Main St., Mane",
+            "221B Baker St",
+            "12 Main St., Mane",  # repeated: coalesced within the batch
+        ]
+        batch = service.search_batch(
+            [tokenizer.tokens(q) for q in queries], 0.5
+        )
+        for text, res in zip(queries, batch):
+            best = res.results[0] if res.results else None
+            answer = (
+                f"{service.payload(best.set_id)!r} ({best.score:.2f})"
+                if best else "no match"
+            )
+            flags = "cached" if res.cached else (
+                "coalesced" if res.coalesced else "executed"
+            )
+            print(f"  {text!r:28} -> {answer:38} [{flags}]")
+
+        # A second identical query is a result-cache hit: no index access.
+        again = service.search(tokenizer.tokens(queries[0]), 0.5)
+        print(f"  repeat query cached: {again.cached}")
+
+        # The same service behind the stdlib HTTP endpoint (repro serve).
+        with ServiceHTTPServer(service, port=0) as server:
+            body = json.dumps(
+                {"text": "17 Elm Av, Springfield", "threshold": 0.5}
+            ).encode()
+            with urllib.request.urlopen(
+                urllib.request.Request(server.url + "/search", data=body)
+            ) as resp:
+                payload = json.loads(resp.read())
+        top = payload["results"][0]
+        print(
+            f"  HTTP /search -> {top['payload']!r} "
+            f"({top['score']:.2f}); degraded={payload['degraded']}"
+        )
+
+
 def main() -> None:
     string_matching()
     token_sets_and_algorithms()
+    service_and_http()
 
 
 if __name__ == "__main__":

@@ -47,6 +47,7 @@ from .core.unweighted import CosineSetSearcher
 from .core.updatable import UpdatableSearcher
 from .core.weighted import WeightedSelector
 from .core.weights import IdfStatistics
+from .service import ServiceConfig, ServiceResult, SimilarityService
 from .storage.invlist import InvertedIndex
 from .storage.persist import load_searcher, save_searcher
 
@@ -84,6 +85,9 @@ __all__ = [
     "WeightedSelector",
     "IdfStatistics",
     "InvertedIndex",
+    "ServiceConfig",
+    "ServiceResult",
+    "SimilarityService",
     "load_searcher",
     "save_searcher",
     "__version__",

@@ -33,6 +33,26 @@ from ..storage.pages import IOStats
 from .base import AlgorithmResult, SearchResult
 
 
+def batch_overlap_factor(queries: Sequence[PreparedQuery]) -> float:
+    """Mean number of interested queries per distinct batch token.
+
+    The shared scan reads a token's list once however many queries
+    subscribe to it, so this factor is exactly the structural saving it
+    offers over query-at-a-time execution (before pruning differences).
+    ``1.0`` means fully disjoint queries (no saving); the service
+    layer's ``"auto"`` batch strategy switches to the shared scan above
+    :data:`repro.service.service.SHARED_SCAN_OVERLAP`.
+    """
+    subscriptions = 0
+    distinct: set = set()
+    for query in queries:
+        subscriptions += len(query.tokens)
+        distinct.update(query.tokens)
+    if not distinct:
+        return 0.0
+    return subscriptions / len(distinct)
+
+
 class BatchSelector:
     """Shared-scan execution of many selections at one threshold."""
 

@@ -7,9 +7,14 @@ Usage (also via ``python -m repro``):
     repro topk   --index ./idx --text "Main Stret" -k 5
     repro info   --index ./idx
     repro bench  --records 2000 --queries 15 --tau 0.8
+    repro batch  --index ./idx --input queries.txt --threshold 0.7
+    repro serve  --index ./idx --port 8080
 
 ``index`` reads one string per line and builds a q-gram searcher; ``query``
 and ``topk`` print tab-separated ``score<TAB>string`` rows, best first.
+``batch`` answers a whole query file through the service layer (caching,
+thread-pool execution, optional deadlines); ``serve`` exposes the same
+service over JSON/HTTP.
 """
 
 from __future__ import annotations
@@ -90,6 +95,66 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument(
         "check_args", nargs=argparse.REMAINDER,
         help="arguments forwarded to `python -m tools.check`",
+    )
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="answer a file of queries as one batch (service layer)",
+    )
+    p_batch.add_argument("--index", required=True)
+    p_batch.add_argument(
+        "--input", required=True, help="one query string per line"
+    )
+    p_batch.add_argument("--threshold", type=float, default=0.7)
+    p_batch.add_argument(
+        "--algorithm", default="sf",
+        choices=[*algorithm_names(), "auto"],
+    )
+    p_batch.add_argument(
+        "--strategy", default="threads",
+        choices=["threads", "shared", "auto"],
+        help="per-query thread pool, shared term-at-a-time scan, or "
+        "overlap-driven choice",
+    )
+    p_batch.add_argument(
+        "--workers", type=int, default=None, help="thread-pool width"
+    )
+    p_batch.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-query deadline; timeouts degrade to tightened SF",
+    )
+    p_batch.add_argument(
+        "--json", action="store_true",
+        help="one JSON object per query instead of tab-separated rows",
+    )
+    p_batch.add_argument(
+        "--stats", action="store_true",
+        help="print service cache/degradation counters to stderr",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="serve an index over JSON/HTTP (stdlib only)"
+    )
+    p_serve.add_argument("--index", required=True)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument(
+        "--algorithm", default="sf",
+        choices=[*algorithm_names(), "auto"],
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None, help="thread-pool width"
+    )
+    p_serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-query deadline; timeouts degrade to tightened SF",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="result-cache entries (0 disables)",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log every request"
     )
 
     return parser
@@ -242,6 +307,81 @@ def cmd_dedupe(args, out: IO[str]) -> int:
     return 0
 
 
+def _build_service(args, searcher, tokenizer):
+    from .service import ServiceConfig, SimilarityService
+
+    config = ServiceConfig(
+        algorithm=args.algorithm,
+        max_workers=args.workers,
+        deadline_seconds=(
+            args.deadline_ms / 1000.0
+            if args.deadline_ms is not None
+            else None
+        ),
+        result_cache_size=getattr(args, "cache_size", 1024),
+    )
+    return SimilarityService(searcher, config, tokenizer=tokenizer)
+
+
+def cmd_batch(args, out: IO[str]) -> int:
+    import json
+
+    searcher = load_searcher(args.index)
+    tokenizer = _tokenizer_for(args.index)
+    with open(args.input, encoding="utf-8") as fh:
+        texts = [line.rstrip("\n") for line in fh if line.strip()]
+    if not texts:
+        print("error: input file holds no queries", file=sys.stderr)
+        return 2
+    with _build_service(args, searcher, tokenizer) as service:
+        results = service.search_batch(
+            [tokenizer.tokens(text) for text in texts],
+            args.threshold,
+            strategy=args.strategy,
+        )
+        for i, (text, res) in enumerate(zip(texts, results)):
+            if args.json:
+                row = {"query": text}
+                row.update(res.to_dict(payload_fn=service.payload))
+                print(json.dumps(row), file=out)
+                continue
+            if not res.ok:
+                print(f"{i}\tERROR\t{res.error}", file=out)
+                continue
+            marker = " [degraded]" if res.degraded else ""
+            for r in res.results:
+                payload = service.payload(r.set_id)
+                print(f"{i}\t{r.score:.4f}\t{payload}{marker}", file=out)
+        if args.stats:
+            print(json.dumps(service.stats()), file=sys.stderr)
+    return 0
+
+
+def cmd_serve(args, out: IO[str]) -> int:
+    from .service import ServiceHTTPServer
+
+    searcher = load_searcher(args.index)
+    tokenizer = _tokenizer_for(args.index)
+    service = _build_service(args, searcher, tokenizer)
+    server = ServiceHTTPServer(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    print(
+        f"serving {args.index} on {server.url} "
+        "(POST /search, POST /batch, GET /stats, GET /healthz; "
+        "Ctrl-C to stop)",
+        file=out,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.shutdown()
+        service.close()
+    return 0
+
+
 def cmd_check(args, out: IO[str]) -> int:
     try:
         from tools.check import main as check_main
@@ -273,6 +413,8 @@ _COMMANDS = {
     "bench": cmd_bench,
     "dedupe": cmd_dedupe,
     "check": cmd_check,
+    "batch": cmd_batch,
+    "serve": cmd_serve,
 }
 
 

@@ -70,6 +70,7 @@ class SetCollection:
     def __init__(self) -> None:
         self._records: List[SetRecord] = []
         self._frozen = False
+        self._generation = 0
         self._stats: Optional[IdfStatistics] = None
         self._lengths: Optional[List[float]] = None
 
@@ -118,6 +119,7 @@ class SetCollection:
             payload=payload,
         )
         self._records.append(rec)
+        self._generation += 1
         return rec.set_id
 
     def freeze(self) -> "SetCollection":
@@ -130,6 +132,13 @@ class SetCollection:
     @property
     def frozen(self) -> bool:
         return self._frozen
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter: bumped on every :meth:`add`.  Caches keyed on
+        ``(id(collection), generation)`` are safely invalidated by any
+        content change (the service layer's result cache relies on it)."""
+        return self._generation
 
     def __len__(self) -> int:
         return len(self._records)

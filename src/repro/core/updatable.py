@@ -83,6 +83,15 @@ class UpdatableSearcher:
         """Sets inserted since the current epoch's snapshot."""
         return len(self._all_tokens) - self._base_size
 
+    @property
+    def version(self):
+        """Cache-invalidation token: changes on every insert and rebuild.
+
+        The service layer keys its result cache on this value, so any
+        mutation — an insert absorbed by the delta index or an epoch
+        rebuild — invalidates stale cached answers."""
+        return (self.epoch, len(self._all_tokens))
+
     # ------------------------------------------------------------------
     def add(self, tokens: Sequence[str], payload: Any = None) -> int:
         """Insert one set; returns its id.  Visible to the next query."""

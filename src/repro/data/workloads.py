@@ -118,6 +118,28 @@ def make_workload(
     return QueryWorkload(queries, chosen, bucket, modifications)
 
 
+def make_traffic(
+    workload: QueryWorkload,
+    repeat: int = 3,
+    seed: int = 2008,
+) -> List[str]:
+    """A served-traffic replay of a workload.
+
+    Production query streams are not distinct-query benchmarks: the same
+    lookups recur (retries, hot entities, fan-in from many clients).
+    This flattens a workload into ``repeat`` shuffled copies of every
+    query — the arrival pattern the service layer's result cache and
+    request coalescing are built for, and the workload shape
+    ``benchmarks/bench_service.py`` measures throughput on.
+    """
+    if repeat < 1:
+        raise ConfigurationError("repeat must be >= 1")
+    rng = random.Random(seed)
+    texts = list(workload) * repeat
+    rng.shuffle(texts)
+    return texts
+
+
 def all_bucket_workloads(
     collection: SetCollection,
     count: int = 100,

@@ -1,0 +1,39 @@
+"""Concurrent query serving over the selection algorithms.
+
+The ``service`` layer sits above ``algorithms`` in the package DAG and
+turns the one-query-at-a-time library into a throughput-oriented
+server: generation-checked LRU caches for prepared queries and results,
+thread-pool batch execution with rare-token locality sorting and
+request coalescing, per-query deadlines with an explicitly flagged SF
+fallback, and a stdlib JSON-over-HTTP front end (``repro serve``).
+
+See ``docs/service.md`` for the architecture and guarantees.
+"""
+
+from .cache import (
+    GenerationLRUCache,
+    prepared_cache_key,
+    result_cache_key,
+)
+from .httpd import ServiceHTTPServer
+from .service import (
+    BATCH_STRATEGIES,
+    DEGRADED_ALGORITHM,
+    SHARED_SCAN_OVERLAP,
+    ServiceConfig,
+    ServiceResult,
+    SimilarityService,
+)
+
+__all__ = [
+    "BATCH_STRATEGIES",
+    "DEGRADED_ALGORITHM",
+    "SHARED_SCAN_OVERLAP",
+    "GenerationLRUCache",
+    "ServiceConfig",
+    "ServiceHTTPServer",
+    "ServiceResult",
+    "SimilarityService",
+    "prepared_cache_key",
+    "result_cache_key",
+]

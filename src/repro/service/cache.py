@@ -1,0 +1,126 @@
+"""Bounded LRU caches for the query service layer.
+
+Two things are worth caching between selection queries:
+
+* **prepared queries** — :class:`~repro.core.query.PreparedQuery`
+  construction sorts the distinct tokens, looks up every idf weight and
+  computes the normalized query length (Theorem 1's ``len(q)``); for a
+  repeated or overlapping query this work is identical every time;
+* **results** — a selection is a pure function of
+  ``(query tokens, tau, algorithm)`` *for a fixed corpus*, so answers can
+  be replayed until the corpus changes.
+
+Both caches are generation-checked: every entry is stamped with the
+backend *version token* (see :meth:`repro.core.collection.SetCollection.generation`
+and :attr:`repro.core.updatable.UpdatableSearcher.version`) current when
+it was stored, and a lookup under a different version is a miss.  A
+version change therefore invalidates the whole cache lazily — no
+eviction sweep, no subscription to index internals.
+
+Thread safety: all mutating operations hold one lock (an
+``OrderedDict`` move-to-end is not atomic under concurrent writers).
+The lock is never held while computing a value, so concurrent misses
+for the same key may duplicate work but never corrupt state.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Tuple
+
+from ..core.errors import ConfigurationError
+
+_MISS = object()
+
+
+class GenerationLRUCache:
+    """A bounded LRU mapping whose entries expire on version change.
+
+    ``version`` can be any hashable token; entries stored under one
+    version are invisible (and lazily evicted) under any other.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Tuple[Hashable, Any]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, version: Hashable) -> Any:
+        """The cached value, or ``None`` on miss/stale entry."""
+        with self._lock:
+            entry = self._entries.get(key, _MISS)
+            if entry is _MISS:
+                self.misses += 1
+                return None
+            stored_version, value = entry
+            if stored_version != version:
+                # Stale: the backend mutated since this was stored.
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, version: Hashable, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = (version, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"GenerationLRUCache(size={len(self._entries)}/"
+            f"{self.capacity}, hits={self.hits}, misses={self.misses})"
+        )
+
+
+def result_cache_key(
+    tokens: Tuple[str, ...], tau: float, algorithm: str
+) -> Tuple[Hashable, ...]:
+    """The canonical result-cache key.
+
+    Token *order and multiplicity* do not affect a selection
+    (:class:`~repro.core.query.PreparedQuery` distinct-sorts), so the key
+    uses the distinct token set; ``tau`` participates exactly (two
+    thresholds are different queries even when within SCORE_EPSILON of
+    each other — cached replay must be bit-identical, never merely
+    close).
+    """
+    return (frozenset(tokens), tau, algorithm)
+
+
+def prepared_cache_key(tokens: Tuple[str, ...]) -> Hashable:
+    """Prepared queries depend only on the distinct token set (plus the
+    corpus statistics, which the version stamp covers)."""
+    return frozenset(tokens)

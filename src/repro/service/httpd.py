@@ -1,0 +1,238 @@
+"""Stdlib HTTP front end for :class:`~repro.service.SimilarityService`.
+
+A deliberately small JSON-over-HTTP endpoint (``http.server`` only — no
+framework dependency), enough to serve an index to other processes and
+to load-test the service layer:
+
+* ``POST /search`` — body ``{"tokens": [...]}`` or ``{"text": "..."}``
+  (the latter requires the service to carry a tokenizer), plus optional
+  ``"threshold"``, ``"algorithm"``, ``"deadline_ms"``.  Responds with
+  :meth:`ServiceResult.to_dict` (payloads resolved).
+* ``POST /batch`` — body ``{"queries": [<query>, ...], ...}`` where each
+  query is a token list or a string; one result object per query.
+* ``GET /stats`` — serving counters and cache statistics.
+* ``GET /healthz`` — liveness.
+
+The server is a ``ThreadingHTTPServer``: one thread per connection, all
+sharing the service's caches (which are lock-protected) and its
+read-only index.
+
+>>> server = ServiceHTTPServer(service, host="127.0.0.1", port=0)
+>>> server.start()          # doctest: +SKIP
+>>> server.url              # doctest: +SKIP
+'http://127.0.0.1:49152'
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from ..core.errors import ReproError
+from .service import ServiceResult, SimilarityService
+
+DEFAULT_THRESHOLD = 0.7
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to the service owned by the server instance.
+
+    ``self.server`` is the ``ThreadingHTTPServer``;
+    :class:`ServiceHTTPServer` attaches ``service`` and ``verbose``
+    attributes to it before serving.
+    """
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, body: Dict[str, Any]) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _read_json(self) -> Optional[Dict[str, Any]]:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_json(
+                400, {"ok": False, "error": "missing or oversized body"}
+            )
+            return None
+        try:
+            body = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"ok": False, "error": f"bad JSON: {exc}"})
+            return None
+        if not isinstance(body, dict):
+            self._send_json(
+                400, {"ok": False, "error": "body must be a JSON object"}
+            )
+            return None
+        return body
+
+    # -- routes ---------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        if self.path == "/healthz":
+            self._send_json(200, {"ok": True})
+        elif self.path == "/stats":
+            self._send_json(200, self.server.service.stats())
+        else:
+            self._send_json(404, {"ok": False, "error": "unknown path"})
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler contract)
+        if self.path not in ("/search", "/batch"):
+            self._send_json(404, {"ok": False, "error": "unknown path"})
+            return
+        body = self._read_json()
+        if body is None:
+            return
+        try:
+            if self.path == "/search":
+                self._handle_search(body)
+            else:
+                self._handle_batch(body)
+        except ReproError as exc:
+            self._send_json(400, {"ok": False, "error": str(exc)})
+        except (TypeError, ValueError) as exc:
+            self._send_json(400, {"ok": False, "error": str(exc)})
+
+    def _query_tokens(self, body: Dict[str, Any], query: Any):
+        service = self.server.service
+        if isinstance(query, str):
+            if service.tokenizer is None:
+                raise ValueError(
+                    "string queries need a server-side tokenizer; "
+                    "send 'tokens' instead"
+                )
+            return service.tokenizer.tokens(query)
+        if isinstance(query, list) and all(
+            isinstance(t, str) for t in query
+        ):
+            return query
+        raise ValueError("a query must be a string or a list of tokens")
+
+    @staticmethod
+    def _deadline_of(body: Dict[str, Any]) -> Optional[float]:
+        deadline_ms = body.get("deadline_ms")
+        return deadline_ms / 1000.0 if deadline_ms is not None else None
+
+    def _result_dict(self, result: ServiceResult) -> Dict[str, Any]:
+        service = self.server.service
+        if result.result is None:
+            return result.to_dict()
+        return result.to_dict(payload_fn=service.payload)
+
+    def _handle_search(self, body: Dict[str, Any]) -> None:
+        service = self.server.service
+        query = body.get("tokens", body.get("text"))
+        if query is None:
+            raise ValueError("body needs 'tokens' or 'text'")
+        tokens = self._query_tokens(body, query)
+        result = service.search(
+            tokens,
+            float(body.get("threshold", DEFAULT_THRESHOLD)),
+            algorithm=body.get("algorithm"),
+            deadline=self._deadline_of(body),
+        )
+        self._send_json(200, self._result_dict(result))
+
+    def _handle_batch(self, body: Dict[str, Any]) -> None:
+        service = self.server.service
+        raw = body.get("queries")
+        if not isinstance(raw, list):
+            raise ValueError("body needs 'queries': a list")
+        token_lists = []
+        for query in raw:
+            # A query tokenizing to nothing becomes an error slot in
+            # the batch answer, not an HTTP error for the whole batch.
+            token_lists.append(self._query_tokens(body, query))
+        results = service.search_batch(
+            token_lists,
+            float(body.get("threshold", DEFAULT_THRESHOLD)),
+            algorithm=body.get("algorithm"),
+            deadline=self._deadline_of(body),
+            strategy=body.get("strategy", "threads"),
+        )
+        self._send_json(
+            200,
+            {
+                "ok": True,
+                "results": [self._result_dict(r) for r in results],
+            },
+        )
+
+
+class ServiceHTTPServer:
+    """Owns a ``ThreadingHTTPServer`` bound to a service instance.
+
+    ``port=0`` binds an ephemeral port (use :attr:`port`/:attr:`url`
+    after construction).  ``start()`` serves on a daemon thread;
+    ``serve_forever()`` blocks the calling thread (the CLI path).
+    """
+
+    def __init__(
+        self,
+        service: SimilarityService,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.verbose = verbose
+        self._httpd = ThreadingHTTPServer(
+            (host, port), _ServiceRequestHandler
+        )
+        self._httpd.daemon_threads = True
+        # Hand the handler its context through the server object.
+        self._httpd.service = service  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceHTTPServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-httpd",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ServiceHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+__all__ = ["ServiceHTTPServer", "DEFAULT_THRESHOLD"]

@@ -1,0 +1,728 @@
+"""The concurrent query service: caching, batching, deadlines.
+
+The paper's algorithms answer one selection at a time; a serving
+deployment amortizes work *across* queries.  :class:`SimilarityService`
+wraps a :class:`~repro.core.search.SetSimilaritySearcher` (or an
+:class:`~repro.core.updatable.UpdatableSearcher`) behind a facade that
+
+* caches **prepared queries** (token idf weights, ``len(q)``, the
+  Theorem 1 window machinery) and **results** in generation-checked LRU
+  caches (:mod:`repro.service.cache`) — any index mutation changes the
+  backend's version token and lazily invalidates both;
+* executes **batches** on a ``ThreadPoolExecutor`` with per-query
+  ``IOStats`` isolation (every execution opens its own cursors and
+  ledger; the index structures are read-only during search), sorting the
+  batch by each query's rarest tokens so queries sharing hot lists run
+  adjacently — better buffer-pool locality — and coalescing identical
+  in-batch queries so a burst of duplicates costs one execution;
+* enforces per-query **deadlines** with graceful degradation: on
+  timeout the configured algorithm is abandoned and the query re-runs as
+  ``SF`` with a *tightened* cutoff (higher threshold → stronger λ/window
+  pruning → bounded work).  A degraded answer contains only exact,
+  correct scores but may miss borderline results between the requested
+  and tightened thresholds; it is always explicitly flagged, never
+  silent.
+
+When no deadline fires and the per-query (``"threads"``) strategy runs,
+service answers are **bit-identical** to calling
+``searcher.search_prepared`` directly — the service adds no scoring path
+of its own.  The ``"shared"`` strategy delegates to
+:class:`~repro.algorithms.batch.BatchSelector` (each token list scanned
+once for the whole batch); its answer *sets* are identical with scores
+equal up to floating-point summation order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..algorithms.base import AlgorithmResult
+from ..algorithms.batch import BatchSelector, batch_overlap_factor
+from ..core.errors import ConfigurationError, EmptyQueryError
+from ..core.query import PreparedQuery
+from ..core.search import SetSimilaritySearcher
+from ..core.updatable import UpdatableSearcher
+from .cache import (
+    GenerationLRUCache,
+    prepared_cache_key,
+    result_cache_key,
+)
+
+DEGRADED_ALGORITHM = "sf"
+
+BATCH_STRATEGIES = ("threads", "shared", "auto")
+
+#: ``"auto"`` switches to the shared scan at this mean number of
+#: interested queries per distinct batch token (the crossover shape
+#: measured by ``benchmarks/bench_extension_batch.py``).
+SHARED_SCAN_OVERLAP = 3.0
+
+
+class ServiceConfig:
+    """Tunables for :class:`SimilarityService`.
+
+    Parameters
+    ----------
+    algorithm:
+        Default selection algorithm (any registered name, or ``"auto"``).
+    max_workers:
+        Thread-pool width for batch execution (``None`` lets the
+        executor pick; CPython threads bound scheduling overhead rather
+        than adding CPUs for the simulated index, so modest widths win).
+    result_cache_size / prepared_cache_size:
+        LRU capacities; ``0`` disables the respective cache.
+    deadline_seconds:
+        Default per-query deadline; ``None`` means no deadline.
+    degrade_tighten:
+        How far the fallback cutoff moves from ``tau`` toward ``1.0``
+        on a deadline miss: ``tau' = tau + degrade_tighten * (1 - tau)``.
+    locality_sort:
+        Sort batches by rarest-token key before dispatch.
+    """
+
+    __slots__ = (
+        "algorithm",
+        "max_workers",
+        "result_cache_size",
+        "prepared_cache_size",
+        "deadline_seconds",
+        "degrade_tighten",
+        "locality_sort",
+    )
+
+    def __init__(
+        self,
+        algorithm: str = "sf",
+        max_workers: Optional[int] = None,
+        result_cache_size: int = 1024,
+        prepared_cache_size: int = 4096,
+        deadline_seconds: Optional[float] = None,
+        degrade_tighten: float = 0.5,
+        locality_sort: bool = True,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        if not (0.0 < degrade_tighten <= 1.0):
+            raise ConfigurationError("degrade_tighten must be in (0, 1]")
+        if deadline_seconds is not None and deadline_seconds <= 0.0:
+            raise ConfigurationError("deadline_seconds must be positive")
+        self.algorithm = algorithm
+        self.max_workers = max_workers
+        self.result_cache_size = result_cache_size
+        self.prepared_cache_size = prepared_cache_size
+        self.deadline_seconds = deadline_seconds
+        self.degrade_tighten = degrade_tighten
+        self.locality_sort = locality_sort
+
+    def degraded_tau(self, tau: float) -> float:
+        """The tightened cutoff used after a deadline miss."""
+        return min(1.0, tau + self.degrade_tighten * (1.0 - tau))
+
+
+class ServiceResult:
+    """One service answer: the algorithm result plus serving metadata.
+
+    ``result`` is ``None`` only when ``error`` is set (e.g. an empty
+    query in a batch).  ``degraded`` marks a deadline fallback: scores
+    are exact but answers between ``tau`` and ``degraded_tau`` may be
+    missing.  ``cached`` marks a result-cache replay; ``coalesced``
+    marks a duplicate answered by another in-batch execution.
+    """
+
+    __slots__ = (
+        "result",
+        "tau",
+        "algorithm",
+        "cached",
+        "coalesced",
+        "degraded",
+        "degraded_tau",
+        "error",
+        "wall_seconds",
+    )
+
+    def __init__(
+        self,
+        result: Optional[AlgorithmResult],
+        tau: float,
+        algorithm: str,
+        cached: bool = False,
+        coalesced: bool = False,
+        degraded: bool = False,
+        degraded_tau: Optional[float] = None,
+        error: Optional[str] = None,
+        wall_seconds: float = 0.0,
+    ) -> None:
+        self.result = result
+        self.tau = tau
+        self.algorithm = algorithm
+        self.cached = cached
+        self.coalesced = coalesced
+        self.degraded = degraded
+        self.degraded_tau = degraded_tau
+        self.error = error
+        self.wall_seconds = wall_seconds
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def results(self):
+        """The answer list (empty when the query errored)."""
+        return self.result.results if self.result is not None else []
+
+    def to_dict(self, payload_fn=None) -> Dict[str, Any]:
+        """JSON-ready representation (used by the HTTP endpoint)."""
+        matches = []
+        for r in self.results:
+            match: Dict[str, Any] = {"id": r.set_id, "score": r.score}
+            if payload_fn is not None:
+                match["payload"] = payload_fn(r.set_id)
+            matches.append(match)
+        out: Dict[str, Any] = {
+            "ok": self.ok,
+            "algorithm": self.algorithm,
+            "threshold": self.tau,
+            "cached": self.cached,
+            "degraded": self.degraded,
+            "results": matches,
+        }
+        if self.degraded:
+            out["degraded_threshold"] = self.degraded_tau
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+    def __repr__(self) -> str:
+        flags = [
+            name
+            for name in ("cached", "coalesced", "degraded")
+            if getattr(self, name)
+        ]
+        suffix = f" [{','.join(flags)}]" if flags else ""
+        return (
+            f"ServiceResult(answers={len(self.results)}, "
+            f"tau={self.tau}, alg={self.algorithm}{suffix})"
+        )
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+class _SearcherBackend:
+    """Static index backend over a :class:`SetSimilaritySearcher`."""
+
+    def __init__(self, searcher: SetSimilaritySearcher) -> None:
+        self.searcher = searcher
+        # Force the lazy corpus statistics and lengths now, so worker
+        # threads never race to initialize them mid-batch.
+        collection = searcher.collection
+        if collection.frozen and len(collection):
+            collection.stats
+            collection.lengths()
+
+    def version(self) -> Tuple[Any, ...]:
+        collection = self.searcher.collection
+        return (id(collection), collection.generation)
+
+    def prepare(self, tokens: Sequence[str]) -> PreparedQuery:
+        return self.searcher.prepare(tokens)
+
+    def execute(
+        self,
+        tokens: Sequence[str],
+        prepared: PreparedQuery,
+        tau: float,
+        algorithm: str,
+    ) -> AlgorithmResult:
+        return self.searcher.search_prepared(prepared, tau, algorithm)
+
+    def batch_selector(self) -> Optional[BatchSelector]:
+        return BatchSelector(self.searcher.index)
+
+    def payload(self, set_id: int) -> Any:
+        return self.searcher.collection.payload(set_id)
+
+
+class _UpdatableBackend:
+    """Mutable backend over an :class:`UpdatableSearcher` (epoch stats)."""
+
+    def __init__(self, updatable: UpdatableSearcher) -> None:
+        self.updatable = updatable
+
+    def version(self) -> Tuple[Any, ...]:
+        return self.updatable.version
+
+    def prepare(self, tokens: Sequence[str]) -> PreparedQuery:
+        # Used for validation and locality sorting only; execution goes
+        # through the updatable's own base+delta fan-out.
+        return PreparedQuery(tokens, self.updatable.stats_epoch)
+
+    def execute(
+        self,
+        tokens: Sequence[str],
+        prepared: PreparedQuery,
+        tau: float,
+        algorithm: str,
+    ) -> AlgorithmResult:
+        return self.updatable.search(list(tokens), tau, algorithm)
+
+    def batch_selector(self) -> Optional[BatchSelector]:
+        return None  # the delta index rules out a single shared scan
+
+    def payload(self, set_id: int) -> Any:
+        return self.updatable.payload(set_id)
+
+
+# ----------------------------------------------------------------------
+# the facade
+# ----------------------------------------------------------------------
+class SimilarityService:
+    """Concurrent selection serving over one index backend.
+
+    Accepts either backend type::
+
+        service = SimilarityService(searcher)            # static index
+        service = SimilarityService(updatable_searcher)  # epoch updates
+
+    Close it (or use it as a context manager) to release the worker
+    pool; a service that never sees a deadline or a batch never starts
+    one.
+    """
+
+    def __init__(
+        self,
+        backend,
+        config: Optional[ServiceConfig] = None,
+        tokenizer=None,
+    ) -> None:
+        if isinstance(backend, SetSimilaritySearcher):
+            self._backend = _SearcherBackend(backend)
+        elif isinstance(backend, UpdatableSearcher):
+            self._backend = _UpdatableBackend(backend)
+        else:
+            raise ConfigurationError(
+                "backend must be a SetSimilaritySearcher or an "
+                f"UpdatableSearcher, got {type(backend).__name__}"
+            )
+        self.config = config or ServiceConfig()
+        self.tokenizer = tokenizer
+        self._results = (
+            GenerationLRUCache(self.config.result_cache_size)
+            if self.config.result_cache_size
+            else None
+        )
+        self._prepared = (
+            GenerationLRUCache(self.config.prepared_cache_size)
+            if self.config.prepared_cache_size
+            else None
+        )
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self.queries_served = 0
+        self.degraded_count = 0
+        self.coalesced_count = 0
+        self.deadline_misses = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "SimilarityService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.config.max_workers,
+                    thread_name_prefix="repro-service",
+                )
+            return self._executor
+
+    # -- preparation & caching -----------------------------------------
+    def prepare(self, tokens: Sequence[str]) -> PreparedQuery:
+        """Prepared-query cache front: same semantics as the searcher's
+        ``prepare`` (raises :class:`EmptyQueryError` on empty input)."""
+        version = self._backend.version()
+        if self._prepared is None:
+            return self._backend.prepare(tokens)
+        key = prepared_cache_key(tuple(tokens))
+        prepared = self._prepared.get(key, version)
+        if prepared is None:
+            prepared = self._backend.prepare(tokens)
+            self._prepared.put(key, version, prepared)
+        return prepared
+
+    def invalidate(self) -> int:
+        """Drop every cached entry; returns the number dropped.
+
+        Rarely needed: version stamping already invalidates entries
+        lazily after any index mutation.
+        """
+        dropped = 0
+        for cache in (self._results, self._prepared):
+            if cache is not None:
+                dropped += cache.clear()
+        return dropped
+
+    def stats(self) -> Dict[str, Any]:
+        """Serving counters plus per-cache hit/miss statistics."""
+        return {
+            "queries_served": self.queries_served,
+            "degraded": self.degraded_count,
+            "coalesced": self.coalesced_count,
+            "deadline_misses": self.deadline_misses,
+            "result_cache": (
+                self._results.stats() if self._results else None
+            ),
+            "prepared_cache": (
+                self._prepared.stats() if self._prepared else None
+            ),
+        }
+
+    # -- single-query path ---------------------------------------------
+    def search(
+        self,
+        tokens: Sequence[str],
+        tau: float,
+        algorithm: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> ServiceResult:
+        """One selection through the cache and deadline machinery.
+
+        Raises :class:`EmptyQueryError` for queries with no tokens
+        (batch slots report it as ``error`` instead).
+        """
+        algorithm = algorithm or self.config.algorithm
+        deadline = (
+            deadline if deadline is not None
+            else self.config.deadline_seconds
+        )
+        started = time.perf_counter()
+        version = self._backend.version()
+        key = result_cache_key(tuple(tokens), tau, algorithm)
+        if self._results is not None:
+            hit = self._results.get(key, version)
+            if hit is not None:
+                self._count(queries=1)
+                return ServiceResult(
+                    hit, tau, algorithm, cached=True,
+                    wall_seconds=time.perf_counter() - started,
+                )
+        prepared = self.prepare(tokens)
+        if deadline is None:
+            out = ServiceResult(
+                self._backend.execute(tokens, prepared, tau, algorithm),
+                tau,
+                algorithm,
+            )
+        else:
+            future = self._pool().submit(
+                self._backend.execute, tokens, prepared, tau, algorithm
+            )
+            out = self._collect_with_deadline(
+                future, tokens, prepared, tau, algorithm, deadline
+            )
+        if (
+            self._results is not None
+            and not out.degraded
+            and out.result is not None
+        ):
+            self._results.put(key, version, out.result)
+        out.wall_seconds = time.perf_counter() - started
+        self._count(queries=1, degraded=1 if out.degraded else 0)
+        return out
+
+    def search_text(
+        self,
+        text: str,
+        tau: float,
+        algorithm: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> ServiceResult:
+        """String front door (requires a tokenizer)."""
+        if self.tokenizer is None:
+            raise ConfigurationError(
+                "search_text requires the service to be built with a "
+                "tokenizer"
+            )
+        return self.search(
+            self.tokenizer.tokens(text), tau, algorithm, deadline
+        )
+
+    def payload(self, set_id: int) -> Any:
+        return self._backend.payload(set_id)
+
+    def _count(
+        self, queries: int = 0, degraded: int = 0, coalesced: int = 0,
+        deadline_misses: int = 0,
+    ) -> None:
+        with self._counter_lock:
+            self.queries_served += queries
+            self.degraded_count += degraded
+            self.coalesced_count += coalesced
+            self.deadline_misses += deadline_misses
+
+    def _collect_with_deadline(
+        self,
+        future: "Future[AlgorithmResult]",
+        tokens: Sequence[str],
+        prepared: PreparedQuery,
+        tau: float,
+        algorithm: str,
+        deadline: float,
+    ) -> ServiceResult:
+        """Await the primary attempt; degrade gracefully on timeout.
+
+        CPython threads cannot be cancelled, so a timed-out primary
+        keeps running in its worker; its result is adopted anyway if it
+        finished by the time the fallback completes (late but complete
+        beats degraded).  The fallback runs *in the collecting thread* —
+        never submitted to the pool, so a saturated pool cannot starve
+        the degraded path.
+        """
+        try:
+            return ServiceResult(
+                future.result(timeout=deadline), tau, algorithm
+            )
+        except FutureTimeout:
+            self._count(deadline_misses=1)
+        fallback_tau = self.config.degraded_tau(tau)
+        fallback = self._backend.execute(
+            tokens, prepared, fallback_tau, DEGRADED_ALGORITHM
+        )
+        if future.done() and future.exception() is None:
+            # The primary finished while the fallback ran: prefer the
+            # complete answer (late, but neither degraded nor wrong).
+            return ServiceResult(future.result(), tau, algorithm)
+        return ServiceResult(
+            fallback,
+            tau,
+            algorithm,
+            degraded=True,
+            degraded_tau=fallback_tau,
+        )
+
+    # -- batch path -----------------------------------------------------
+    def search_batch(
+        self,
+        queries: Sequence[Sequence[str]],
+        tau: float,
+        algorithm: Optional[str] = None,
+        deadline: Optional[float] = None,
+        strategy: str = "threads",
+    ) -> List[ServiceResult]:
+        """Execute a batch of token-set queries at one threshold.
+
+        Returns one :class:`ServiceResult` per input, in input order;
+        queries that tokenize to nothing get ``error`` slots rather than
+        raising.  ``strategy`` is ``"threads"`` (per-query algorithm,
+        deadlines honoured, bit-identical answers), ``"shared"``
+        (term-at-a-time :class:`BatchSelector` scan, no deadlines) or
+        ``"auto"`` (shared when token overlap is high and no deadline is
+        configured).
+        """
+        if strategy not in BATCH_STRATEGIES:
+            raise ConfigurationError(
+                f"strategy must be one of {BATCH_STRATEGIES}, "
+                f"got {strategy!r}"
+            )
+        algorithm = algorithm or self.config.algorithm
+        deadline = (
+            deadline if deadline is not None
+            else self.config.deadline_seconds
+        )
+        version = self._backend.version()
+
+        prepared: List[Optional[PreparedQuery]] = []
+        out: List[Optional[ServiceResult]] = []
+        for tokens in queries:
+            try:
+                prepared.append(self.prepare(tokens))
+                out.append(None)
+            except EmptyQueryError as exc:
+                prepared.append(None)
+                out.append(
+                    ServiceResult(None, tau, algorithm, error=str(exc))
+                )
+
+        if strategy == "auto":
+            live = [q for q in prepared if q is not None]
+            strategy = (
+                "shared"
+                if deadline is None
+                and self._backend.batch_selector() is not None
+                and batch_overlap_factor(live) >= SHARED_SCAN_OVERLAP
+                else "threads"
+            )
+
+        if strategy == "shared":
+            self._run_shared(queries, prepared, out, tau, version)
+        else:
+            self._run_threads(
+                queries, prepared, out, tau, algorithm, deadline, version
+            )
+        self._count(
+            queries=sum(1 for r in out if r is not None and r.ok)
+        )
+        return out  # type: ignore[return-value]  # every slot is filled
+
+    def _run_threads(
+        self,
+        queries: Sequence[Sequence[str]],
+        prepared: List[Optional[PreparedQuery]],
+        out: List[Optional[ServiceResult]],
+        tau: float,
+        algorithm: str,
+        deadline: Optional[float],
+        version,
+    ) -> None:
+        """Per-query execution: cache, coalesce, sort, dispatch, collect."""
+        # 1. Replay cache hits; group the remaining work by result key
+        #    so identical in-batch queries execute once (coalescing).
+        pending: Dict[Tuple, List[int]] = {}
+        for i, query in enumerate(prepared):
+            if query is None:
+                continue
+            key = result_cache_key(tuple(queries[i]), tau, algorithm)
+            if self._results is not None:
+                hit = self._results.get(key, version)
+                if hit is not None:
+                    out[i] = ServiceResult(hit, tau, algorithm, cached=True)
+                    continue
+            pending.setdefault(key, []).append(i)
+
+        # 2. Locality sort: queries sharing their rarest (highest-idf)
+        #    tokens run adjacently, so consecutive workers touch the
+        #    same hot lists (and the same buffer-pool pages).
+        order = list(pending.items())
+        if self.config.locality_sort:
+            order.sort(key=lambda item: prepared[item[1][0]].tokens)
+
+        # 3. Dispatch one execution per distinct key.  Workers never
+        #    submit nested pool work (the deadline fallback runs in the
+        #    collector), so the pool cannot deadlock on itself.
+        pool = self._pool()
+        futures = [
+            (
+                key,
+                indices,
+                pool.submit(
+                    self._backend.execute,
+                    queries[indices[0]],
+                    prepared[indices[0]],
+                    tau,
+                    algorithm,
+                ),
+            )
+            for key, indices in order
+        ]
+
+        # 4. Collect in dispatch order.  The per-query deadline clock
+        #    starts when the collector reaches the future — by then the
+        #    future has been runnable at least that long, so no query is
+        #    degraded for time it spent queued behind the batch.
+        for key, indices, future in futures:
+            if deadline is None:
+                primary = ServiceResult(future.result(), tau, algorithm)
+            else:
+                primary = self._collect_with_deadline(
+                    future,
+                    queries[indices[0]],
+                    prepared[indices[0]],
+                    tau,
+                    algorithm,
+                    deadline,
+                )
+            if (
+                self._results is not None
+                and not primary.degraded
+                and primary.result is not None
+            ):
+                self._results.put(key, version, primary.result)
+            if primary.degraded:
+                self._count(degraded=len(indices))
+            out[indices[0]] = primary
+            for duplicate in indices[1:]:
+                out[duplicate] = ServiceResult(
+                    primary.result,
+                    tau,
+                    algorithm,
+                    coalesced=True,
+                    degraded=primary.degraded,
+                    degraded_tau=primary.degraded_tau,
+                )
+                self._count(coalesced=1)
+
+    def _run_shared(
+        self,
+        queries: Sequence[Sequence[str]],
+        prepared: List[Optional[PreparedQuery]],
+        out: List[Optional[ServiceResult]],
+        tau: float,
+        version,
+    ) -> None:
+        """Term-at-a-time shared scan over the batch's cache misses.
+
+        Results are cached under the ``"batch"`` algorithm label — the
+        shared scan's summation order may differ from a per-query
+        algorithm's in the last float ulp, so the two cache populations
+        are kept distinct to preserve the bit-identical replay guarantee
+        of the per-query path.
+        """
+        selector = self._backend.batch_selector()
+        if selector is None:
+            raise ConfigurationError(
+                "the shared batch strategy requires a static index "
+                "backend (UpdatableSearcher serves base + delta indexes)"
+            )
+        miss_indices: List[int] = []
+        for i, query in enumerate(prepared):
+            if query is None:
+                continue
+            key = result_cache_key(tuple(queries[i]), tau, "batch")
+            if self._results is not None:
+                hit = self._results.get(key, version)
+                if hit is not None:
+                    out[i] = ServiceResult(hit, tau, "batch", cached=True)
+                    continue
+            miss_indices.append(i)
+        if not miss_indices:
+            return
+        results, _stats = selector.search_many(
+            [prepared[i] for i in miss_indices], tau
+        )
+        for i, result in zip(miss_indices, results):
+            key = result_cache_key(tuple(queries[i]), tau, "batch")
+            if self._results is not None:
+                self._results.put(key, version, result)
+            out[i] = ServiceResult(result, tau, "batch")
+
+    def __repr__(self) -> str:
+        return (
+            f"SimilarityService(served={self.queries_served}, "
+            f"degraded={self.degraded_count})"
+        )
+
+
+__all__ = [
+    "BATCH_STRATEGIES",
+    "DEGRADED_ALGORITHM",
+    "SHARED_SCAN_OVERLAP",
+    "ServiceConfig",
+    "ServiceResult",
+    "SimilarityService",
+]

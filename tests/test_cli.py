@@ -179,3 +179,117 @@ class TestModuleEntryPoint:
         )
         assert result.returncode == 0
         assert "indexed 4 strings" in result.stdout
+
+
+class TestBatchCommand:
+    @pytest.fixture()
+    def index_dir(self, strings_file, tmp_path):
+        run_cli(["index", "--input", str(strings_file),
+                 "--output", str(tmp_path / "idx")])
+        return tmp_path / "idx"
+
+    @pytest.fixture()
+    def queries_file(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text("Main Stret\nElm Avenu\nMain Stret\n")
+        return path
+
+    def test_batch_answers_every_line(self, index_dir, queries_file):
+        code, out = run_cli(
+            ["batch", "--index", str(index_dir),
+             "--input", str(queries_file), "--threshold", "0.5"]
+        )
+        assert code == 0
+        assert "Main Street" in out
+        assert "Elm Avenue" in out
+
+    def test_batch_json_one_object_per_line(self, index_dir, queries_file):
+        import json
+
+        code, out = run_cli(
+            ["batch", "--index", str(index_dir),
+             "--input", str(queries_file), "--threshold", "0.5", "--json"]
+        )
+        assert code == 0
+        rows = [json.loads(line) for line in out.strip().splitlines()]
+        assert len(rows) == 3
+        assert all(row["ok"] for row in rows)
+        # The repeated query is answered by cache or coalescing, with
+        # the same results as its first occurrence.
+        assert rows[2]["results"] == rows[0]["results"]
+
+    def test_batch_strategy_validated(self, index_dir, queries_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["batch", "--index", str(index_dir),
+                 "--input", str(queries_file), "--strategy", "bogus"]
+            )
+
+
+class TestServeCommand:
+    def test_serve_end_to_end(self, strings_file, tmp_path):
+        import json
+        import socket
+        import time
+        import urllib.request
+
+        run_cli(["index", "--input", str(strings_file),
+                 "--output", str(tmp_path / "idx")])
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--index", str(tmp_path / "idx"), "--port", str(port)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            url = f"http://127.0.0.1:{port}"
+            deadline = time.time() + 10
+            while True:
+                try:
+                    with urllib.request.urlopen(
+                        url + "/healthz", timeout=1
+                    ) as resp:
+                        assert json.loads(resp.read())["ok"]
+                    break
+                except OSError:
+                    if time.time() > deadline:
+                        raise
+                    time.sleep(0.1)
+            request = urllib.request.Request(
+                url + "/search",
+                data=json.dumps(
+                    {"text": "Main Stret", "threshold": 0.5}
+                ).encode(),
+            )
+            with urllib.request.urlopen(request, timeout=5) as resp:
+                body = json.loads(resp.read())
+            assert body["ok"]
+            assert body["results"][0]["payload"] == "Main Street"
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+
+class TestHelpListsEverySubcommand:
+    def test_help_covers_command_table(self):
+        from repro.cli import _COMMANDS
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0
+        for command in _COMMANDS:
+            assert command in result.stdout, command
+
+    def test_command_table_matches_parser(self):
+        from repro.cli import _COMMANDS
+
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+        )
+        assert set(subparsers.choices) == set(_COMMANDS)

@@ -1,0 +1,77 @@
+"""Tests for the doc-snippets pass and the repository's documentation.
+
+The unit tests exercise fence extraction and failure reporting on
+inline Markdown; the repo-level test executes every runnable snippet
+in ``README.md`` and ``docs/*.md`` so a doc-breaking API change fails
+tier-1, not just the dedicated CI step.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.check import docsnippets  # noqa: E402
+
+
+class TestExtraction:
+    def test_python_fence_extracted_with_line_number(self):
+        text = "intro\n\n```python\nx = 1\ny = x + 1\n```\n"
+        snippets = docsnippets.extract_snippets(text)
+        assert snippets == [(3, "x = 1\ny = x + 1\n")]
+
+    def test_non_python_fences_ignored(self):
+        text = "```bash\nexit 1\n```\n\n```\nplain fence\n```\n"
+        assert docsnippets.extract_snippets(text) == []
+
+    def test_no_run_marker_skips_block(self):
+        text = "```python no-run\nraise RuntimeError('illustrative')\n```\n"
+        assert docsnippets.extract_snippets(text) == []
+
+    def test_indented_fence_inside_list(self):
+        text = "- step:\n\n    ```python\n    x = 1\n    ```\n"
+        snippets = docsnippets.extract_snippets(text)
+        assert len(snippets) == 1
+        assert snippets[0][1].strip() == "x = 1"
+
+    def test_unterminated_fence_dropped(self):
+        text = "```python\nx = 1\n"
+        assert docsnippets.extract_snippets(text) == []
+
+
+class TestExecution:
+    def test_passing_snippet_returns_none(self):
+        assert docsnippets.run_snippet("print('ok')\n", REPO_ROOT) is None
+
+    def test_snippet_sees_repro_on_pythonpath(self):
+        source = "import repro\nassert repro.__version__\n"
+        assert docsnippets.run_snippet(source, REPO_ROOT) is None
+
+    def test_failing_snippet_reports_exception_tail(self):
+        error = docsnippets.run_snippet(
+            "raise ValueError('doc rot')\n", REPO_ROOT
+        )
+        assert error is not None
+        assert "doc rot" in error
+
+    def test_failure_becomes_violation_at_fence_line(self, tmp_path):
+        doc = tmp_path / "broken.md"
+        doc.write_text("title\n\n```python\nundefined_name\n```\n")
+        violations = docsnippets.run(REPO_ROOT, files=[doc])
+        assert len(violations) == 1
+        assert violations[0].line == 3
+        assert violations[0].check == docsnippets.CHECK_NAME
+
+
+class TestRepositoryDocs:
+    def test_docs_list_is_nonempty(self):
+        files = docsnippets.markdown_files(REPO_ROOT)
+        names = {f.name for f in files}
+        assert "README.md" in names
+        assert "service.md" in names
+
+    def test_every_doc_snippet_executes(self):
+        violations = docsnippets.run(REPO_ROOT)
+        assert violations == [], "\n".join(str(v) for v in violations)

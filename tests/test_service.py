@@ -1,0 +1,446 @@
+"""Tests for the concurrent query service layer (``repro.service``).
+
+The contract under test, per ``docs/service.md``:
+
+* service answers are bit-identical to direct searcher calls when no
+  deadline fires (including cached replays and thread batches);
+* caches invalidate on any index mutation, with no explicit flush;
+* a deadline miss degrades to SF at a tightened threshold and the
+  result is *flagged*, never silent, and never cached;
+* the HTTP endpoint round-trips all of the above as JSON.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import (
+    QGramTokenizer,
+    ServiceConfig,
+    SetCollection,
+    SetSimilaritySearcher,
+    SimilarityService,
+    UpdatableSearcher,
+)
+from repro.core.errors import ConfigurationError, EmptyQueryError
+from repro.data.synthetic import generate_word_database
+from repro.service import (
+    DEGRADED_ALGORITHM,
+    GenerationLRUCache,
+    ServiceHTTPServer,
+    result_cache_key,
+)
+
+TOKEN_SETS = [
+    ["data", "cleaning", "matters"],
+    ["data", "cleaning"],
+    ["query", "processing"],
+    ["set", "similarity", "query", "processing"],
+    ["data", "quality", "matters"],
+]
+
+
+@pytest.fixture()
+def searcher():
+    return SetSimilaritySearcher(SetCollection.from_token_sets(TOKEN_SETS))
+
+
+@pytest.fixture()
+def service(searcher):
+    with SimilarityService(searcher) as svc:
+        yield svc
+
+
+def ids_and_scores(results):
+    return [(r.set_id, r.score) for r in results]
+
+
+class TestGenerationLRUCache:
+    def test_roundtrip_same_version(self):
+        cache = GenerationLRUCache(4)
+        cache.put("k", (1,), "value")
+        assert cache.get("k", (1,)) == "value"
+        assert cache.stats()["hits"] == 1
+
+    def test_version_change_invalidates(self):
+        cache = GenerationLRUCache(4)
+        cache.put("k", (1,), "stale")
+        assert cache.get("k", (2,)) is None
+        assert cache.stats()["invalidations"] == 1
+        assert cache.stats()["size"] == 0  # the stale entry is evicted
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = GenerationLRUCache(2)
+        cache.put("a", (1,), 1)
+        cache.put("b", (1,), 2)
+        cache.get("a", (1,))  # refresh a
+        cache.put("c", (1,), 3)  # evicts b
+        assert cache.get("b", (1,)) is None
+        assert cache.get("a", (1,)) == 1
+        assert cache.get("c", (1,)) == 3
+
+    def test_result_key_ignores_token_order_and_duplicates(self):
+        assert result_cache_key(("a", "b", "b"), 0.5, "sf") == \
+            result_cache_key(("b", "a"), 0.5, "sf")
+        assert result_cache_key(("a",), 0.5, "sf") != \
+            result_cache_key(("a",), 0.6, "sf")
+
+
+class TestServiceConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(max_workers=0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(degrade_tighten=0.0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(degrade_tighten=1.5)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(deadline_seconds=0.0)
+
+    def test_degraded_tau_moves_toward_one(self):
+        config = ServiceConfig(degrade_tighten=0.5)
+        assert config.degraded_tau(0.6) == pytest.approx(0.8)
+        assert config.degraded_tau(1.0) == pytest.approx(1.0)
+
+    def test_backend_type_is_validated(self):
+        with pytest.raises(ConfigurationError):
+            SimilarityService(object())
+
+
+class TestSingleQuery:
+    def test_bit_identical_to_direct_search(self, searcher, service):
+        direct = searcher.search(["data", "cleaning"], 0.4, algorithm="sf")
+        served = service.search(["data", "cleaning"], 0.4)
+        assert ids_and_scores(served.results) == \
+            ids_and_scores(direct.results)
+        assert not served.cached and not served.degraded
+
+    def test_repeat_is_cached_and_identical(self, service):
+        first = service.search(["data", "cleaning"], 0.4)
+        second = service.search(["data", "cleaning"], 0.4)
+        assert second.cached
+        assert ids_and_scores(second.results) == \
+            ids_and_scores(first.results)
+        assert service.stats()["result_cache"]["hits"] == 1
+
+    def test_cache_distinguishes_threshold_and_algorithm(self, service):
+        service.search(["data", "cleaning"], 0.4)
+        assert not service.search(["data", "cleaning"], 0.5).cached
+        assert not service.search(
+            ["data", "cleaning"], 0.4, algorithm="inra"
+        ).cached
+
+    def test_empty_query_raises(self, service):
+        with pytest.raises(EmptyQueryError):
+            service.search([], 0.5)
+
+    def test_caches_can_be_disabled(self, searcher):
+        config = ServiceConfig(result_cache_size=0, prepared_cache_size=0)
+        with SimilarityService(searcher, config=config) as svc:
+            svc.search(["data", "cleaning"], 0.4)
+            assert not svc.search(["data", "cleaning"], 0.4).cached
+            assert svc.stats()["result_cache"] is None
+
+    def test_search_text_requires_tokenizer(self, searcher):
+        with SimilarityService(searcher) as svc:
+            with pytest.raises(ConfigurationError):
+                svc.search_text("data cleaning", 0.5)
+
+
+class TestInvalidation:
+    def test_collection_generation_counts_mutations(self):
+        collection = SetCollection()
+        assert collection.generation == 0
+        collection.add(["a", "b"])
+        collection.add(["b", "c"])
+        assert collection.generation == 2
+        collection.freeze()
+        with pytest.raises(ConfigurationError):
+            collection.add(["d"])
+        assert collection.generation == 2  # refused adds don't count
+
+    def test_updatable_insert_invalidates_cache(self):
+        updatable = UpdatableSearcher(TOKEN_SETS)
+        with SimilarityService(updatable) as service:
+            before = service.search(["data", "cleaning"], 0.3)
+            assert service.search(["data", "cleaning"], 0.3).cached
+
+            updatable.add(["data", "cleaning", "fresh"])
+
+            after = service.search(["data", "cleaning"], 0.3)
+            assert not after.cached  # version changed -> stale entry dropped
+            new_id = len(TOKEN_SETS)
+            assert new_id in {r.set_id for r in after.results}
+            assert new_id not in {r.set_id for r in before.results}
+            assert service.stats()["result_cache"]["invalidations"] >= 1
+
+    def test_explicit_invalidate_clears_both_caches(self, service):
+        service.search(["data", "cleaning"], 0.4)
+        assert service.invalidate() >= 2  # one result + one prepared entry
+        assert not service.search(["data", "cleaning"], 0.4).cached
+
+
+class TestBatch:
+    BATCH = [
+        ["data", "cleaning"],
+        ["query", "processing"],
+        ["data", "quality", "matters"],
+        ["data", "cleaning"],  # duplicate of slot 0
+    ]
+
+    def test_threads_identical_to_sequential(self, searcher, service):
+        batch = service.search_batch(self.BATCH, 0.3)
+        for tokens, served in zip(self.BATCH, batch):
+            direct = searcher.search(tokens, 0.3, algorithm="sf")
+            assert ids_and_scores(served.results) == \
+                ids_and_scores(direct.results)
+
+    def test_duplicates_coalesce(self, service):
+        batch = service.search_batch(self.BATCH, 0.3)
+        assert not batch[0].coalesced
+        assert batch[3].coalesced
+        assert ids_and_scores(batch[3].results) == \
+            ids_and_scores(batch[0].results)
+        assert service.stats()["coalesced"] == 1
+
+    def test_cache_hits_replay_in_batches(self, service):
+        service.search(["data", "cleaning"], 0.3)
+        batch = service.search_batch(self.BATCH, 0.3)
+        assert batch[0].cached
+
+    def test_empty_query_becomes_error_slot(self, service):
+        batch = service.search_batch([["data"], []], 0.3)
+        assert batch[0].ok
+        assert not batch[1].ok
+        assert batch[1].results == []
+
+    def test_shared_strategy_same_answers(self, searcher, service):
+        batch = service.search_batch(self.BATCH, 0.3, strategy="shared")
+        for tokens, served in zip(self.BATCH, batch):
+            direct = searcher.search(tokens, 0.3, algorithm="sf")
+            assert [r.set_id for r in served.results] == \
+                [r.set_id for r in direct.results]
+            for got, want in zip(served.results, direct.results):
+                assert got.score == pytest.approx(want.score)
+
+    def test_auto_strategy_valid(self, service):
+        batch = service.search_batch(self.BATCH, 0.3, strategy="auto")
+        assert all(r.ok for r in batch)
+
+    def test_unknown_strategy_rejected(self, service):
+        with pytest.raises(ConfigurationError):
+            service.search_batch(self.BATCH, 0.3, strategy="bogus")
+
+    def test_locality_sort_does_not_change_answers(self, searcher):
+        config = ServiceConfig(locality_sort=False)
+        with SimilarityService(searcher, config=config) as unsorted:
+            with SimilarityService(searcher) as sorted_svc:
+                a = unsorted.search_batch(self.BATCH, 0.3)
+                b = sorted_svc.search_batch(self.BATCH, 0.3)
+        for x, y in zip(a, b):
+            assert ids_and_scores(x.results) == ids_and_scores(y.results)
+
+
+class TestBatchRandomized:
+    def test_large_batch_matches_sequential(self):
+        collection, _ = generate_word_database(
+            num_records=400, vocabulary_size=250, seed=11
+        )
+        searcher = SetSimilaritySearcher(collection)
+        queries = [list(rec.tokens) for rec in collection][:60]
+        with SimilarityService(
+            searcher, config=ServiceConfig(max_workers=4)
+        ) as service:
+            for strategy in ("threads", "shared", "auto"):
+                batch = service.search_batch(
+                    queries, 0.7, strategy=strategy
+                )
+                for tokens, served in zip(queries, batch):
+                    direct = searcher.search(tokens, 0.7, algorithm="sf")
+                    assert [r.set_id for r in served.results] == \
+                        [r.set_id for r in direct.results], strategy
+
+
+class TestDeadline:
+    @staticmethod
+    def _slow_service(searcher, primary_sleep, fallback_sleep=0.0):
+        """A service whose primary algorithm is artificially slow."""
+        service = SimilarityService(
+            searcher, config=ServiceConfig(algorithm="nra")
+        )
+        backend = service._backend
+        original = backend.execute
+
+        def slow_execute(tokens, prepared, tau, algorithm):
+            time.sleep(
+                fallback_sleep
+                if algorithm == DEGRADED_ALGORITHM
+                else primary_sleep
+            )
+            return original(tokens, prepared, tau, algorithm)
+
+        backend.execute = slow_execute
+        return service
+
+    def test_deadline_miss_degrades_and_flags(self, searcher):
+        with self._slow_service(searcher, primary_sleep=1.5) as service:
+            result = service.search(["data", "cleaning"], 0.4, deadline=0.05)
+        assert result.degraded
+        assert result.degraded_tau == pytest.approx(
+            service.config.degraded_tau(0.4)
+        )
+        assert result.ok  # degraded is not an error
+        stats = service.stats()
+        assert stats["degraded"] == 1
+        assert stats["deadline_misses"] == 1
+
+    def test_degraded_answers_are_subset_at_tightened_tau(self, searcher):
+        with self._slow_service(searcher, primary_sleep=1.5) as service:
+            degraded = service.search(
+                ["data", "cleaning"], 0.4, deadline=0.05
+            )
+        exact = searcher.search(["data", "cleaning"], 0.4, algorithm="sf")
+        exact_ids = {r.set_id for r in exact.results}
+        for r in degraded.results:
+            assert r.set_id in exact_ids
+            assert r.score >= degraded.degraded_tau - 1e-9
+
+    def test_degraded_result_never_cached(self, searcher):
+        with self._slow_service(searcher, primary_sleep=1.5) as service:
+            service.search(["data", "cleaning"], 0.4, deadline=0.05)
+            # Without a deadline the slow primary runs to completion;
+            # the answer must be freshly computed, not a degraded replay.
+            follow_up = service.search(["data", "cleaning"], 0.4)
+        assert not follow_up.cached
+        assert not follow_up.degraded
+
+    def test_late_primary_adopted_over_fallback(self, searcher):
+        # Primary outlives the deadline but finishes while the (very
+        # slow) fallback runs: the exact answer must win, unflagged.
+        with self._slow_service(
+            searcher, primary_sleep=0.1, fallback_sleep=1.0
+        ) as service:
+            result = service.search(["data", "cleaning"], 0.4, deadline=0.02)
+        assert not result.degraded
+        direct = searcher.search(["data", "cleaning"], 0.4, algorithm="nra")
+        assert ids_and_scores(result.results) == \
+            ids_and_scores(direct.results)
+
+    def test_no_deadline_runs_inline(self, searcher):
+        with SimilarityService(searcher) as service:
+            service.search(["data", "cleaning"], 0.4)
+            assert service._executor is None  # no pool was ever started
+
+
+class TestConcurrentUse:
+    def test_parallel_searches_match_sequential(self, searcher):
+        queries = [list(rec.tokens) for rec in searcher.collection]
+        expected = [
+            ids_and_scores(searcher.search(q, 0.5, algorithm="sf").results)
+            for q in queries
+        ]
+        with SimilarityService(searcher) as service:
+            got = [None] * len(queries)
+            errors = []
+
+            def worker(i):
+                try:
+                    res = service.search(queries[i], 0.5)
+                    got[i] = ids_and_scores(res.results)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(len(queries))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors
+        assert got == expected
+
+
+class TestHTTPServer:
+    @pytest.fixture()
+    def server(self):
+        tokenizer = QGramTokenizer()
+        collection = SetCollection.from_strings(
+            ["Main Street", "Maine Street", "Elm Avenue"], tokenizer
+        )
+        service = SimilarityService(
+            SetSimilaritySearcher(collection), tokenizer=tokenizer
+        )
+        with ServiceHTTPServer(service, port=0) as server:
+            yield server
+        service.close()
+
+    @staticmethod
+    def _post(url, body):
+        request = urllib.request.Request(
+            url, data=json.dumps(body).encode("utf-8")
+        )
+        with urllib.request.urlopen(request, timeout=10) as resp:
+            return json.loads(resp.read())
+
+    @staticmethod
+    def _get(url):
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return json.loads(resp.read())
+
+    def test_healthz(self, server):
+        assert self._get(server.url + "/healthz") == {"ok": True}
+
+    def test_search_by_text(self, server):
+        body = self._post(
+            server.url + "/search",
+            {"text": "Main Stret", "threshold": 0.5},
+        )
+        assert body["ok"] and not body["degraded"]
+        assert body["results"][0]["payload"] == "Main Street"
+
+    def test_search_by_tokens_and_cache_flag(self, server):
+        tokens = server.service.tokenizer.tokens("Elm Avenue")
+        request = {"tokens": tokens, "threshold": 0.5}
+        first = self._post(server.url + "/search", request)
+        second = self._post(server.url + "/search", request)
+        assert not first["cached"] and second["cached"]
+        assert first["results"] == second["results"]
+
+    def test_batch_mixed_queries(self, server):
+        body = self._post(
+            server.url + "/batch",
+            {
+                "queries": ["Main Street", "Elm Avenu", "Main Street"],
+                "threshold": 0.5,
+            },
+        )
+        assert body["ok"]
+        assert len(body["results"]) == 3
+        assert body["results"][0]["results"] == \
+            body["results"][2]["results"]
+
+    def test_stats_endpoint(self, server):
+        self._post(
+            server.url + "/search", {"text": "Main", "threshold": 0.5}
+        )
+        stats = self._get(server.url + "/stats")
+        assert stats["queries_served"] >= 1
+
+    def test_bad_request_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/search", data=b'{"threshold": 0.5}'
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(request, timeout=10)
+        assert exc.value.code == 400
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(server.url + "/nope", timeout=10)
+        assert exc.value.code == 404

@@ -7,12 +7,18 @@ Four AST passes over the source tree:
 * ``algorithm-contract`` — registry/interface contract for selection
   algorithms;
 * ``paper-reference`` — registered algorithms cite the paper construct
-  they implement.
+  they implement;
+
+plus one execution pass:
+
+* ``doc-snippets`` — every fenced Python block in ``README.md`` and
+  ``docs/*.md`` must run cleanly (``no-run`` in the fence info string
+  opts a block out).
 
 Run via ``python -m tools.check`` or ``repro check``.
 """
 
-from . import algocontract, docrefs, floatcmp, layering  # noqa: F401
+from . import algocontract, docrefs, docsnippets, floatcmp, layering  # noqa: F401
 from .base import CheckError, ModuleInfo, Violation, load_modules
 from .cli import main
 

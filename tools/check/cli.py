@@ -17,7 +17,7 @@ import sys
 from pathlib import Path
 from typing import IO, List, Optional
 
-from . import algocontract, docrefs, floatcmp, layering
+from . import algocontract, docrefs, docsnippets, floatcmp, layering
 from .base import CheckError, load_modules
 from .baseline import read_baseline, write_baseline
 
@@ -30,6 +30,7 @@ PASSES = {
     floatcmp.CHECK_NAME: floatcmp.run,
     algocontract.CHECK_NAME: algocontract.run,
     docrefs.CHECK_NAME: docrefs.run,
+    docsnippets.CHECK_NAME: None,  # handled specially (runs md snippets)
 }
 
 
@@ -38,7 +39,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m tools.check",
         description=(
             "Custom AST lint suite: import layering, float-equality on "
-            "scores, algorithm registry contract, paper citations."
+            "scores, algorithm registry contract, paper citations — plus "
+            "a doc-snippets pass that executes the documentation's "
+            "fenced Python examples."
         ),
     )
     parser.add_argument(
@@ -115,12 +118,25 @@ def main(argv: Optional[List[str]] = None, out: IO[str] = sys.stdout) -> int:
         if runner is not None:
             violations.extend(runner(modules))
 
+    # The doc-snippets pass executes code (not AST analysis), so it only
+    # runs on a bare full-repo invocation or when explicitly selected —
+    # per-path scans of fixtures/subtrees stay fast.
+    run_docs = docsnippets.CHECK_NAME in selected or (
+        not selected and not args.paths
+    )
+    if run_docs:
+        violations.extend(docsnippets.run(REPO_ROOT))
+
+    ran = [
+        name for name in active
+        if name != docsnippets.CHECK_NAME or run_docs
+    ]
     violations.sort(key=lambda v: v.sort_key)
     for violation in violations:
         print(violation, file=out)
     summary = (
         f"{len(violations)} violation(s) across "
-        f"{len(modules)} module(s), passes: {', '.join(active)}"
+        f"{len(modules)} module(s), passes: {', '.join(ran)}"
     )
     print(("FAIL: " if violations else "ok: ") + summary, file=out)
     return 1 if violations else 0

@@ -1,0 +1,142 @@
+"""Doc-snippets pass: the documentation's code must actually run.
+
+Markdown documentation rots silently — an API rename breaks every
+example that mentions it and nothing fails.  This pass extracts every
+fenced ``python`` block from ``README.md`` and ``docs/*.md`` and
+executes each one in a fresh subprocess with ``src`` on ``PYTHONPATH``
+and the repository root as the working directory.  A snippet that
+raises (or times out) is a violation pointing at the fence's line in
+the Markdown file.
+
+Opting out: snippets that are intentionally illustrative — interactive
+transcripts, fragments, shell-flavoured pseudo-Python — declare it in
+the fence info string::
+
+    ```python no-run
+    result = service.search(tokens, tau)   # fragment, not executable
+    ```
+
+Unlike the AST passes this one *runs* code, so it is not part of the
+default per-path scan: it executes on a bare ``python -m tools.check``
+(no explicit paths) or when selected with ``--select doc-snippets``.
+CI runs it as a dedicated step.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from .base import Violation
+
+CHECK_NAME = "doc-snippets"
+
+SNIPPET_TIMEOUT = 120.0
+"""Per-snippet wall-clock budget in seconds; a hung snippet is a bug."""
+
+PYTHON_INFO_STRINGS = ("python", "py", "python3")
+SKIP_MARKER = "no-run"
+
+Snippet = Tuple[int, str]
+"""(1-based line number of the opening fence, snippet source)."""
+
+
+def markdown_files(repo_root: Path) -> List[Path]:
+    """The documentation files whose snippets must execute."""
+    files: List[Path] = []
+    readme = repo_root / "README.md"
+    if readme.is_file():
+        files.append(readme)
+    docs = repo_root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return files
+
+
+def extract_snippets(text: str) -> List[Snippet]:
+    """Fenced ``python`` blocks of a Markdown document.
+
+    Fences marked ``no-run`` in their info string are skipped, as are
+    non-Python fences (``bash``, ``text``, bare ` ``` `).  Nested
+    fences are not handled — CommonMark forbids them anyway.
+    """
+    snippets: List[Snippet] = []
+    fence_line = 0
+    collecting = False
+    runnable = False
+    buf: List[str] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not collecting:
+            if stripped.startswith("```"):
+                info = stripped[3:].strip().lower().split()
+                collecting = True
+                runnable = bool(info) and info[0] in PYTHON_INFO_STRINGS \
+                    and SKIP_MARKER not in info
+                fence_line = lineno
+                buf = []
+            continue
+        if stripped == "```":
+            if runnable and buf:
+                snippets.append((fence_line, "\n".join(buf) + "\n"))
+            collecting = False
+            runnable = False
+            continue
+        buf.append(line)
+    return snippets
+
+
+def run_snippet(
+    source: str, repo_root: Path, timeout: float = SNIPPET_TIMEOUT
+) -> Optional[str]:
+    """Execute one snippet; return an error description or None if ok."""
+    env = dict(os.environ)
+    src = str(repo_root / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + os.pathsep + existing if existing else src
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-"],
+            input=source,
+            capture_output=True,
+            text=True,
+            cwd=str(repo_root),
+            env=env,
+            timeout=timeout,
+        )
+    except subprocess.TimeoutExpired:
+        return f"snippet timed out after {timeout:.0f}s"
+    if proc.returncode != 0:
+        # The traceback tail names the failing line and exception; the
+        # full dump would drown the report.
+        tail = [ln for ln in proc.stderr.strip().splitlines() if ln][-3:]
+        detail = " | ".join(tail) if tail else f"exit code {proc.returncode}"
+        return f"snippet failed: {detail}"
+    return None
+
+
+def run(
+    repo_root: Path,
+    files: Optional[Sequence[Path]] = None,
+    timeout: float = SNIPPET_TIMEOUT,
+) -> List[Violation]:
+    """Execute every runnable snippet under ``repo_root``'s docs."""
+    violations: List[Violation] = []
+    for path in files if files is not None else markdown_files(repo_root):
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            violations.append(
+                Violation(str(path), 1, CHECK_NAME, f"unreadable: {exc}")
+            )
+            continue
+        for fence_line, source in extract_snippets(text):
+            error = run_snippet(source, repo_root, timeout=timeout)
+            if error is not None:
+                violations.append(
+                    Violation(str(path), fence_line, CHECK_NAME, error)
+                )
+    return violations

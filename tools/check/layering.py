@@ -6,9 +6,10 @@ The package layers, from foundation to application::
       └─ contracts           # runtime invariant checks (core only)
           └─ data, storage   # corpora / physical index structures
               └─ algorithms  # the selection algorithms
-                  └─ relational
-                      └─ eval
-                          └─ cli, __main__, package root
+                  └─ service # concurrent serving: caches, batches, deadlines
+                      └─ relational
+                          └─ eval
+                              └─ cli, __main__, package root
 
 A module may import its own layer or any *strictly lower* layer at
 module level.  Upward (or sideways, e.g. ``data ↔ storage``) imports
@@ -45,11 +46,12 @@ LAYERS: Dict[str, int] = {
     "data": 2,
     "storage": 2,
     "algorithms": 3,
-    "relational": 4,
-    "eval": 5,
-    "cli": 6,
-    "__main__": 7,
-    "": 7,  # the package root (__init__) re-exports everything
+    "service": 4,
+    "relational": 5,
+    "eval": 6,
+    "cli": 7,
+    "__main__": 8,
+    "": 8,  # the package root (__init__) re-exports everything
 }
 
 
