@@ -28,6 +28,8 @@ from ..contracts import (
 from ..core.errors import UnknownAlgorithmError
 from ..core.properties import effective_threshold
 from ..core.query import PreparedQuery
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..storage.invlist import InvertedIndex, WeightOrderCursor
 from ..storage.pages import IOStats
 
@@ -71,6 +73,11 @@ class AlgorithmResult:
     ``elements_total`` is the combined length of the query's inverted lists
     — the denominator of the paper's *pruning power* metric
     (``1 - elements_read / elements_total``).
+
+    ``shared_stats`` marks a result whose ledger is shared with other
+    queries (batched execution charges one ledger for the whole batch), so
+    ``elements_read > elements_total`` is expected there rather than an
+    accounting bug.
     """
 
     __slots__ = (
@@ -80,6 +87,7 @@ class AlgorithmResult:
         "elements_total",
         "wall_seconds",
         "peak_candidates",
+        "shared_stats",
     )
 
     def __init__(
@@ -90,6 +98,7 @@ class AlgorithmResult:
         elements_total: int,
         wall_seconds: float = 0.0,
         peak_candidates: int = 0,
+        shared_stats: bool = False,
     ) -> None:
         self.algorithm = algorithm
         self.results = sorted(results, key=lambda r: (-r.score, r.set_id))
@@ -97,13 +106,24 @@ class AlgorithmResult:
         self.elements_total = elements_total
         self.wall_seconds = wall_seconds
         self.peak_candidates = peak_candidates
+        self.shared_stats = shared_stats
 
     @property
     def pruning_power(self) -> float:
         """Fraction of the query's list elements never read (paper, §VIII-C)."""
         if self.elements_total == 0:
             return 1.0
-        read = min(self.stats.elements_read, self.elements_total)
+        read = self.stats.elements_read
+        if read > self.elements_total and not self.shared_stats:
+            if invariants_enabled():
+                raise ContractViolation(
+                    "io-accounting",
+                    f"{self.algorithm} charged {read} element reads against "
+                    f"lists totalling {self.elements_total} entries; a "
+                    "per-query ledger over-counted (pass shared_stats=True "
+                    "for ledgers deliberately shared across queries)",
+                )
+        read = min(read, self.elements_total)
         return 1.0 - read / self.elements_total
 
     def ids(self) -> List[int]:
@@ -238,14 +258,16 @@ class SelectionAlgorithm:
         else:
             stats = IOStats()
         started = time.perf_counter()
-        lists = QueryLists(
-            self.index,
-            query,
-            stats,
-            use_skip_lists=self.use_skip_lists,
-            order=self.list_order,
-        )
-        results, peak = self._run(lists, tau)
+        with obs_trace.span("query", algo=self.name, tau=tau) as query_span:
+            lists = QueryLists(
+                self.index,
+                query,
+                stats,
+                use_skip_lists=self.use_skip_lists,
+                order=self.list_order,
+            )
+            results, peak = self._run(lists, tau)
+            query_span.note(answers=len(results), lists=len(lists))
         if self._length_floor > 0.0 and results:
             # Algorithms without a window (classic NRA/TA, sort-by-id) do
             # not enforce the floor while scanning; filter uniformly here
@@ -258,7 +280,7 @@ class SelectionAlgorithm:
         if invariants_enabled():
             self._check_result_contracts(query, tau, results)
         elapsed = time.perf_counter() - started
-        return AlgorithmResult(
+        result = AlgorithmResult(
             algorithm=self.name,
             results=results,
             stats=stats,
@@ -266,6 +288,8 @@ class SelectionAlgorithm:
             wall_seconds=elapsed,
             peak_candidates=peak,
         )
+        self._observe(result, lists)
+        return result
 
     def _check_result_contracts(
         self,
@@ -307,6 +331,65 @@ class SelectionAlgorithm:
                     "must be resolved exactly once",
                 )
             seen.add(r.set_id)
+
+    def _observe(
+        self, result: AlgorithmResult, lists: QueryLists
+    ) -> None:
+        """Flush the query's ledger into the global metrics registry.
+
+        Runs once per query — per-posting accounting stays inside
+        :class:`~repro.storage.pages.IOStats`, so the disabled cost is a
+        single ``registry.enabled`` test (``bench_obs_overhead.py`` keeps
+        it under 2% on the SF hot path).
+        """
+        registry = obs_metrics.get_registry()
+        if not registry.enabled:
+            return
+        algo = self.name
+        stats = result.stats
+        registry.counter(
+            "queries_total", "Selection queries executed.", ("algo",)
+        ).labels(algo=algo).inc()
+        registry.histogram(
+            "query_latency_seconds",
+            "End-to-end selection latency in seconds.",
+            ("algo",),
+        ).labels(algo=algo).observe(result.wall_seconds)
+        registry.counter(
+            "elements_read_total",
+            "Inverted-list elements consumed (the paper's access-cost unit).",
+            ("algo",),
+        ).labels(algo=algo).inc(stats.elements_read)
+        pruned = sum(1 for cursor in lists.cursors if not cursor.exhausted())
+        registry.counter(
+            "lists_pruned_total",
+            "Query lists abandoned before exhaustion (pruning wins).",
+            ("algo",),
+        ).labels(algo=algo).inc(pruned)
+        pages = registry.counter(
+            "pages_read_total",
+            "Simulated page reads billed to disk.",
+            ("algo", "kind"),
+        )
+        pages.labels(algo=algo, kind="sequential").inc(stats.sequential_pages)
+        pages.labels(algo=algo, kind="random").inc(stats.random_pages)
+        registry.counter(
+            "skip_jumps_total",
+            "Skip-list jumps taken during length seeks.",
+            ("algo",),
+        ).labels(algo=algo).inc(stats.skip_jumps)
+        registry.counter(
+            "hash_probes_total",
+            "Extendible-hash containment probes (TA-style random I/O).",
+            ("algo",),
+        ).labels(algo=algo).inc(stats.hash_probes)
+        buffer_hits = getattr(stats, "buffer_hits", 0)
+        if buffer_hits:
+            registry.counter(
+                "buffer_hits_total",
+                "Page reads absorbed by the LRU buffer pool.",
+                ("algo",),
+            ).labels(algo=algo).inc(buffer_hits)
 
     def _run(
         self, lists: QueryLists, tau: float

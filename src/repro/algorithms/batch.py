@@ -133,6 +133,9 @@ class BatchSelector:
                     stats=stats,
                     elements_total=elements_total[qi],
                     wall_seconds=elapsed / max(len(queries), 1),
+                    # One ledger serves the whole batch, so per-query
+                    # reads legitimately exceed per-query list totals.
+                    shared_stats=True,
                 )
             )
         return results, stats

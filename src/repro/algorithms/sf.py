@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..contracts import check_magnitude_bound, invariants_enabled
+from ..obs import trace as obs_trace
 from .base import (
     QueryLists,
     SearchResult,
@@ -105,14 +106,22 @@ class ShortestFirst(SelectionAlgorithm):
         by_id: Dict[int, Candidate] = {}
         peak = 0
 
+        tracer = obs_trace.current()
         for k, i in enumerate(order):
             cursor = lists.cursors[i]
+            list_span = (
+                tracer.span("sf.scan_list", token=cursor.token)
+                if tracer is not None
+                else None
+            )
             if self.use_length_bounds:
                 cursor.seek_length_ge(lo)
             mu = min(cutoffs[k], hi)
             suffix_after = potential[k + 1]
             new_cands: List[Candidate] = []
             ptr = 0  # co-walk pointer into sorted_cands
+            scan_start = cursor.position
+            ids_before = len(by_id)
 
             while not cursor.exhausted():
                 length, set_id = cursor.peek()
@@ -150,6 +159,17 @@ class ShortestFirst(SelectionAlgorithm):
             sorted_cands = self._merge(sorted_cands, new_cands, by_id)
             if len(by_id) > peak:
                 peak = len(by_id)
+            if list_span is not None:
+                pruned = ids_before + len(new_cands) - len(by_id)
+                list_span.note(
+                    read=cursor.position - scan_start,
+                    discovered=len(new_cands),
+                    cutoff=mu,
+                )
+                if pruned > 0:
+                    tracer.event("sf.prune", token=cursor.token, count=pruned)
+                tracer.event("sf.frontier", candidates=len(by_id))
+                list_span.close()
 
         results = [
             SearchResult(c.set_id, c.lower)

@@ -9,6 +9,7 @@ Usage (also via ``python -m repro``):
     repro bench  --records 2000 --queries 15 --tau 0.8
     repro batch  --index ./idx --input queries.txt --threshold 0.7
     repro serve  --index ./idx --port 8080
+    repro trace  --input spans.jsonl
 
 ``index`` reads one string per line and builds a q-gram searcher; ``query``
 and ``topk`` print tab-separated ``score<TAB>string`` rows, best first.
@@ -61,6 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument(
         "--stats", action="store_true", help="print I/O telemetry to stderr"
     )
+    p_query.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a span trace of the query as JSONL "
+        "(render with `repro trace --input PATH`)",
+    )
 
     p_topk = sub.add_parser("topk", help="top-k most similar strings")
     p_topk.add_argument("--index", required=True)
@@ -76,6 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--records", type=int, default=2000)
     p_bench.add_argument("--queries", type=int, default=15)
     p_bench.add_argument("--tau", type=float, default=0.8)
+    p_bench.add_argument(
+        "--metrics", action="store_true",
+        help="collect registry metrics and print a one-line summary "
+        "to stderr",
+    )
 
     p_dedupe = sub.add_parser(
         "dedupe", help="group near-duplicate lines of a file"
@@ -130,6 +141,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "--stats", action="store_true",
         help="print service cache/degradation counters to stderr",
+    )
+    p_batch.add_argument(
+        "--metrics", action="store_true",
+        help="collect registry metrics and print a one-line summary "
+        "to stderr",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="render a recorded span trace as a flame summary"
+    )
+    p_trace.add_argument(
+        "--input", required=True,
+        help="JSONL trace written by `repro query --trace`",
     )
 
     p_serve = sub.add_parser(
@@ -209,9 +233,19 @@ def cmd_query(args, out: IO[str]) -> int:
     if not tokens:
         print("error: query tokenizes to nothing", file=sys.stderr)
         return 2
-    result = searcher.search(
-        tokens, args.threshold, algorithm=args.algorithm
-    )
+    if args.trace:
+        from .obs import trace as obs_trace
+
+        with obs_trace.capture() as tracer:
+            result = searcher.search(
+                tokens, args.threshold, algorithm=args.algorithm
+            )
+        spans = tracer.write_jsonl(args.trace)
+        print(f"wrote {spans} spans to {args.trace}", file=sys.stderr)
+    else:
+        result = searcher.search(
+            tokens, args.threshold, algorithm=args.algorithm
+        )
     for r in result.results:
         print(f"{r.score:.4f}\t{searcher.collection.payload(r.set_id)}", file=out)
     if args.stats:
@@ -252,9 +286,12 @@ def cmd_info(args, out: IO[str]) -> int:
 
 
 def cmd_bench(args, out: IO[str]) -> int:
+    from contextlib import nullcontext
+
     from .data.synthetic import generate_word_database
     from .data.workloads import make_workload
     from .eval.harness import ExperimentContext, format_table
+    from .obs import metrics as obs_metrics
 
     collection, _words = generate_word_database(
         num_records=args.records,
@@ -265,12 +302,21 @@ def cmd_bench(args, out: IO[str]) -> int:
     workload = make_workload(
         collection, (11, 15), args.queries, modifications=0, seed=77
     )
-    rows = [
-        context.run_workload(engine, workload, args.tau).row()
-        for engine in (
-            "sort-by-id", "sql", "ta", "nra", "inra", "ita", "sf", "hybrid",
-        )
-    ]
+    scope = (
+        obs_metrics.use_registry(obs_metrics.MetricsRegistry())
+        if args.metrics
+        else nullcontext(obs_metrics.get_registry())
+    )
+    with scope as registry:
+        rows = [
+            context.run_workload(engine, workload, args.tau).row()
+            for engine in (
+                "sort-by-id", "sql", "ta", "nra", "inra", "ita", "sf",
+                "hybrid",
+            )
+        ]
+        if args.metrics:
+            print(obs_metrics.summary_line(registry), file=sys.stderr)
     print(
         format_table(
             rows,
@@ -333,7 +379,18 @@ def cmd_batch(args, out: IO[str]) -> int:
     if not texts:
         print("error: input file holds no queries", file=sys.stderr)
         return 2
-    with _build_service(args, searcher, tokenizer) as service:
+    from contextlib import nullcontext
+
+    from .obs import metrics as obs_metrics
+
+    scope = (
+        obs_metrics.use_registry(obs_metrics.MetricsRegistry())
+        if args.metrics
+        else nullcontext(obs_metrics.get_registry())
+    )
+    with scope as registry, _build_service(
+        args, searcher, tokenizer
+    ) as service:
         results = service.search_batch(
             [tokenizer.tokens(text) for text in texts],
             args.threshold,
@@ -354,12 +411,18 @@ def cmd_batch(args, out: IO[str]) -> int:
                 print(f"{i}\t{r.score:.4f}\t{payload}{marker}", file=out)
         if args.stats:
             print(json.dumps(service.stats()), file=sys.stderr)
+        if args.metrics:
+            print(obs_metrics.summary_line(registry), file=sys.stderr)
     return 0
 
 
 def cmd_serve(args, out: IO[str]) -> int:
+    from .obs import metrics as obs_metrics
     from .service import ServiceHTTPServer
 
+    # A serving process always collects metrics — that is what the
+    # /metrics endpoint scrapes.
+    obs_metrics.enable()
     searcher = load_searcher(args.index)
     tokenizer = _tokenizer_for(args.index)
     service = _build_service(args, searcher, tokenizer)
@@ -368,8 +431,8 @@ def cmd_serve(args, out: IO[str]) -> int:
     )
     print(
         f"serving {args.index} on {server.url} "
-        "(POST /search, POST /batch, GET /stats, GET /healthz; "
-        "Ctrl-C to stop)",
+        "(POST /search, POST /batch, GET /stats, GET /metrics, "
+        "GET /healthz; Ctrl-C to stop)",
         file=out,
     )
     try:
@@ -405,6 +468,20 @@ def cmd_check(args, out: IO[str]) -> int:
     return check_main(args.check_args, out=out)
 
 
+def cmd_trace(args, out: IO[str]) -> int:
+    from pathlib import Path
+
+    from .obs import trace as obs_trace
+
+    path = Path(args.input)
+    if not path.exists():
+        print(f"error: no trace file at {args.input}", file=sys.stderr)
+        return 2
+    records = obs_trace.read_jsonl(path.read_text(encoding="utf-8"))
+    print(obs_trace.flame_summary(records), file=out)
+    return 0
+
+
 _COMMANDS = {
     "index": cmd_index,
     "query": cmd_query,
@@ -415,6 +492,7 @@ _COMMANDS = {
     "check": cmd_check,
     "batch": cmd_batch,
     "serve": cmd_serve,
+    "trace": cmd_trace,
 }
 
 

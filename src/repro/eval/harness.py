@@ -34,12 +34,19 @@ from ..core.query import PreparedQuery
 from ..core.search import SetSimilaritySearcher
 from ..core.tokenize import QGramTokenizer, Tokenizer
 from ..data.workloads import QueryWorkload
+from ..obs import metrics as obs_metrics
 from ..relational.sqlbaseline import SqlBaseline
 from ..service import ServiceConfig, SimilarityService
 from .metrics import mean
 
 PAPER_THRESHOLDS = (0.6, 0.7, 0.8, 0.9)
 PAPER_MODIFICATIONS = (0, 1, 2, 3)
+
+
+def _registry_snapshot() -> Optional[Dict[str, Any]]:
+    """The global registry's state, or None while telemetry is off."""
+    registry = obs_metrics.get_registry()
+    return registry.snapshot() if registry.enabled else None
 
 
 def parse_engine_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
@@ -69,7 +76,12 @@ def parse_engine_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
 
 
 class WorkloadSummary:
-    """Aggregated measurements of one workload under one engine."""
+    """Aggregated measurements of one workload under one engine.
+
+    ``metrics_snapshot`` carries the state of the global metrics registry
+    at collection time (``None`` while telemetry is disabled) so reports
+    can embed registry counters next to the per-query ledgers.
+    """
 
     def __init__(
         self,
@@ -78,12 +90,14 @@ class WorkloadSummary:
         workload: QueryWorkload,
         per_query: List[AlgorithmResult],
         wall_seconds_total: float,
+        metrics_snapshot: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.engine = engine
         self.tau = tau
         self.workload = workload
         self.per_query = per_query
         self.wall_seconds_total = wall_seconds_total
+        self.metrics_snapshot = metrics_snapshot
 
     # -- the paper's reported quantities --------------------------------
     @property
@@ -227,7 +241,10 @@ class ExperimentContext:
             if result is not None:
                 per_query.append(result)
         elapsed = time.perf_counter() - started
-        return WorkloadSummary(engine_spec, tau, workload, per_query, elapsed)
+        return WorkloadSummary(
+            engine_spec, tau, workload, per_query, elapsed,
+            metrics_snapshot=_registry_snapshot(),
+        )
 
     def make_service(
         self, config: Optional[ServiceConfig] = None
@@ -288,7 +305,8 @@ class ExperimentContext:
             else QueryWorkload(texts, [-1] * len(texts), (0, 0), 0)
         )
         return WorkloadSummary(
-            f"service-{strategy}", tau, summary_workload, per_query, elapsed
+            f"service-{strategy}", tau, summary_workload, per_query, elapsed,
+            metrics_snapshot=_registry_snapshot(),
         )
 
     def sweep(

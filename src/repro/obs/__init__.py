@@ -1,0 +1,54 @@
+"""Observability layer: metrics registry, global runtime, span tracer.
+
+This package sits at the *bottom* of the layering DAG — it imports
+nothing from the rest of ``repro``, and every other layer may import it
+(enforced by ``tools.check`` layering pass).  See
+``docs/observability.md`` for the metric catalogue and trace format.
+"""
+
+from . import metrics, trace
+from .metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    disable,
+    enable,
+    get_registry,
+    render_prometheus,
+    set_registry,
+    summary_line,
+    use_registry,
+)
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .trace import SpanRecord, Tracer, capture, flame_summary, read_jsonl
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
+    "SpanRecord",
+    "Tracer",
+    "capture",
+    "disable",
+    "enable",
+    "flame_summary",
+    "get_registry",
+    "metrics",
+    "read_jsonl",
+    "render_prometheus",
+    "set_registry",
+    "summary_line",
+    "trace",
+    "use_registry",
+]

@@ -30,6 +30,7 @@ from collections import OrderedDict
 from typing import Any, Dict, Hashable, Tuple
 
 from ..core.errors import ConfigurationError
+from ..obs import metrics as obs_metrics
 
 _MISS = object()
 
@@ -39,12 +40,18 @@ class GenerationLRUCache:
 
     ``version`` can be any hashable token; entries stored under one
     version are invisible (and lazily evicted) under any other.
+
+    A cache built with a ``name`` additionally publishes every hit and
+    miss to the global metrics registry as ``cache_hits_total`` /
+    ``cache_misses_total`` labeled ``{cache=name}``; anonymous caches
+    keep only their local counters.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, name: str = "") -> None:
         if capacity < 1:
             raise ConfigurationError("cache capacity must be >= 1")
         self.capacity = capacity
+        self.name = name
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, Tuple[Hashable, Any]]" = (
             OrderedDict()
@@ -56,23 +63,43 @@ class GenerationLRUCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _publish(self, hit: bool) -> None:
+        if not self.name:
+            return
+        registry = obs_metrics.get_registry()
+        if not registry.enabled:
+            return
+        family = "cache_hits_total" if hit else "cache_misses_total"
+        help_text = (
+            "Cache lookups served from the cache."
+            if hit
+            else "Cache lookups that fell through (including stale entries)."
+        )
+        registry.counter(family, help_text, ("cache",)).labels(
+            cache=self.name
+        ).inc()
+
     def get(self, key: Hashable, version: Hashable) -> Any:
         """The cached value, or ``None`` on miss/stale entry."""
         with self._lock:
             entry = self._entries.get(key, _MISS)
             if entry is _MISS:
                 self.misses += 1
-                return None
-            stored_version, value = entry
-            if stored_version != version:
-                # Stale: the backend mutated since this was stored.
-                del self._entries[key]
-                self.invalidations += 1
-                self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return value
+                hit = False
+            else:
+                stored_version, value = entry
+                if stored_version != version:
+                    # Stale: the backend mutated since this was stored.
+                    del self._entries[key]
+                    self.invalidations += 1
+                    self.misses += 1
+                    hit = False
+                else:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    hit = True
+        self._publish(hit)
+        return value if hit else None
 
     def put(self, key: Hashable, version: Hashable, value: Any) -> None:
         with self._lock:

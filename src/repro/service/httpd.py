@@ -11,6 +11,8 @@ to load-test the service layer:
 * ``POST /batch`` — body ``{"queries": [<query>, ...], ...}`` where each
   query is a token list or a string; one result object per query.
 * ``GET /stats`` — serving counters and cache statistics.
+* ``GET /metrics`` — Prometheus text exposition of the global metrics
+  registry (empty body when telemetry is disabled).
 * ``GET /healthz`` — liveness.
 
 The server is a ``ThreadingHTTPServer``: one thread per connection, all
@@ -31,6 +33,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
 
 from ..core.errors import ReproError
+from ..obs import metrics as obs_metrics
 from .service import ServiceResult, SimilarityService
 
 DEFAULT_THRESHOLD = 0.7
@@ -79,19 +82,46 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             return None
         return body
 
+    def _count_request(self, path: str) -> None:
+        registry = obs_metrics.get_registry()
+        if registry.enabled:
+            registry.counter(
+                "http_requests_total",
+                "HTTP requests by path (unknown paths fold into 'other').",
+                ("path",),
+            ).labels(path=path).inc()
+
+    def _send_metrics(self) -> None:
+        data = obs_metrics.render_prometheus(
+            obs_metrics.get_registry()
+        ).encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", obs_metrics.PROMETHEUS_CONTENT_TYPE
+        )
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     # -- routes ---------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        known = ("/healthz", "/stats", "/metrics")
+        self._count_request(self.path if self.path in known else "other")
         if self.path == "/healthz":
             self._send_json(200, {"ok": True})
         elif self.path == "/stats":
             self._send_json(200, self.server.service.stats())
+        elif self.path == "/metrics":
+            self._send_metrics()
         else:
             self._send_json(404, {"ok": False, "error": "unknown path"})
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler contract)
         if self.path not in ("/search", "/batch"):
+            self._count_request("other")
             self._send_json(404, {"ok": False, "error": "unknown path"})
             return
+        self._count_request(self.path)
         body = self._read_json()
         if body is None:
             return

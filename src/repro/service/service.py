@@ -46,6 +46,7 @@ from ..core.errors import ConfigurationError, EmptyQueryError
 from ..core.query import PreparedQuery
 from ..core.search import SetSimilaritySearcher
 from ..core.updatable import UpdatableSearcher
+from ..obs import metrics as obs_metrics
 from .cache import (
     GenerationLRUCache,
     prepared_cache_key,
@@ -313,12 +314,14 @@ class SimilarityService:
         self.config = config or ServiceConfig()
         self.tokenizer = tokenizer
         self._results = (
-            GenerationLRUCache(self.config.result_cache_size)
+            GenerationLRUCache(self.config.result_cache_size, name="result")
             if self.config.result_cache_size
             else None
         )
         self._prepared = (
-            GenerationLRUCache(self.config.prepared_cache_size)
+            GenerationLRUCache(
+                self.config.prepared_cache_size, name="prepared"
+            )
             if self.config.prepared_cache_size
             else None
         )
@@ -418,9 +421,10 @@ class SimilarityService:
             hit = self._results.get(key, version)
             if hit is not None:
                 self._count(queries=1)
+                wall = time.perf_counter() - started
+                self._observe_latency(wall)
                 return ServiceResult(
-                    hit, tau, algorithm, cached=True,
-                    wall_seconds=time.perf_counter() - started,
+                    hit, tau, algorithm, cached=True, wall_seconds=wall,
                 )
         prepared = self.prepare(tokens)
         if deadline is None:
@@ -443,6 +447,7 @@ class SimilarityService:
         ):
             self._results.put(key, version, out.result)
         out.wall_seconds = time.perf_counter() - started
+        self._observe_latency(out.wall_seconds)
         self._count(queries=1, degraded=1 if out.degraded else 0)
         return out
 
@@ -475,6 +480,39 @@ class SimilarityService:
             self.degraded_count += degraded
             self.coalesced_count += coalesced
             self.deadline_misses += deadline_misses
+        registry = obs_metrics.get_registry()
+        if not registry.enabled:
+            return
+        if queries:
+            registry.counter(
+                "service_queries_total",
+                "Queries answered by the service facade "
+                "(cached, coalesced, and degraded included).",
+            ).inc(queries)
+        if degraded:
+            registry.counter(
+                "deadline_degradations_total",
+                "Queries answered by the tightened-threshold SF fallback.",
+            ).inc(degraded)
+        if coalesced:
+            registry.counter(
+                "coalesced_queries_total",
+                "In-batch duplicates answered by another execution.",
+            ).inc(coalesced)
+        if deadline_misses:
+            registry.counter(
+                "deadline_misses_total",
+                "Primary executions that exceeded their deadline.",
+            ).inc(deadline_misses)
+
+    def _observe_latency(self, wall_seconds: float) -> None:
+        registry = obs_metrics.get_registry()
+        if registry.enabled:
+            registry.histogram(
+                "service_request_latency_seconds",
+                "Wall-clock latency of SimilarityService.search calls "
+                "(cache hits included).",
+            ).observe(wall_seconds)
 
     def _collect_with_deadline(
         self,

@@ -71,6 +71,8 @@ class BufferedIOStats(IOStats):
 
     __slots__ = ("pool", "buffer_hits")
 
+    COUNTER_FIELDS = IOStats.COUNTER_FIELDS + ("buffer_hits",)
+
     def __init__(self, capacity: int) -> None:
         super().__init__()
         self.pool = LRUBufferPool(capacity)
@@ -96,11 +98,6 @@ class BufferedIOStats(IOStats):
             self.buffer_hits += pages
             return
         super().charge_random_page(pages)
-
-    def snapshot(self) -> dict:
-        out = super().snapshot()
-        out["buffer_hits"] = self.buffer_hits
-        return out
 
     def __repr__(self) -> str:
         return (

@@ -31,6 +31,7 @@ from ..contracts import (
 )
 from ..core.collection import SetCollection
 from ..core.errors import IndexNotBuiltError
+from ..obs import trace as obs_trace
 from .exthash import ExtendibleHash
 from .pages import DEFAULT_PAGE_CAPACITY, IOStats, PagedFile
 from .skiplist import SkipList
@@ -123,6 +124,8 @@ class WeightOrderCursor:
             return
         if self.peek()[0] >= lo:
             return
+        tracer = obs_trace.current()
+        before = self._cursor.position
         if self._use_skip:
             target = self._postings.skip.seek_ge((lo, -1), self._stats)
             if target > self._cursor.position:
@@ -134,6 +137,14 @@ class WeightOrderCursor:
         else:
             while not self.exhausted() and self.peek()[0] < lo:
                 self.next()
+        if tracer is not None:
+            tracer.event(
+                "list.seek",
+                token=self.token,
+                lo=lo,
+                skipped=self._cursor.position - before,
+                via="skip" if self._use_skip else "scan",
+            )
 
 
 class CheckedWeightOrderCursor(WeightOrderCursor):
@@ -204,6 +215,10 @@ class IdOrderCursor:
 
     def next(self) -> Tuple[int, float]:
         return self._cursor.next()
+
+    @property
+    def position(self) -> int:
+        return self._cursor.position
 
     def __len__(self) -> int:
         return len(self._postings)

@@ -44,6 +44,12 @@ class IOStats:
         "candidate_scans",
     )
 
+    #: The counters that :meth:`snapshot`/:meth:`add` cover.  Subclasses
+    #: that add counters must extend this tuple — iterating
+    #: ``self.__slots__`` would see only the subclass's own slots and
+    #: silently drop (or double) the base counters.
+    COUNTER_FIELDS = __slots__
+
     def __init__(self) -> None:
         self.reset()
 
@@ -93,12 +99,18 @@ class IOStats:
         )
 
     def snapshot(self) -> dict:
-        return {name: getattr(self, name) for name in self.__slots__}
+        return {name: getattr(self, name) for name in self.COUNTER_FIELDS}
 
     def add(self, other: "IOStats") -> None:
-        """Accumulate another ledger into this one (for workload totals)."""
-        for name in self.__slots__:
-            setattr(self, name, getattr(self, name) + getattr(other, name))
+        """Accumulate another ledger into this one (for workload totals).
+
+        Counters the other ledger lacks (e.g. ``buffer_hits`` when merging
+        a plain ledger into a buffered one) contribute zero.
+        """
+        for name in self.COUNTER_FIELDS:
+            setattr(
+                self, name, getattr(self, name) + getattr(other, name, 0)
+            )
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,25 @@
+"""Bad: wall-clock reads in timing code, four flavours."""
+
+import time
+from time import time as now
+from time import time_ns
+
+
+def elapsed(work) -> float:
+    started = time.time()  # module attribute
+    work()
+    return time.time() - started
+
+
+def elapsed_ns(work) -> int:
+    started = time.time_ns()  # time_ns counts too
+    work()
+    return time.time_ns() - started
+
+
+def via_binding() -> float:
+    return now()  # from-import with asname
+
+
+def via_direct_import() -> int:
+    return time_ns()  # from-import, original name

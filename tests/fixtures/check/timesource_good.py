@@ -1,0 +1,30 @@
+"""Good: monotonic clocks for durations, pragma'd wall-clock reads."""
+
+import time
+from time import monotonic, perf_counter
+
+
+def measure(work) -> float:
+    started = perf_counter()
+    work()
+    return perf_counter() - started
+
+
+def measure_module_attr(work) -> float:
+    started = time.monotonic()
+    work()
+    return time.monotonic() - started
+
+
+def heartbeat() -> float:
+    return monotonic()
+
+
+def report_stamp() -> float:
+    # A genuine epoch timestamp for a report header, reviewed as such.
+    return time.time()  # repro-check: allow-wall-clock
+
+
+def not_the_stdlib_clock(time) -> float:
+    # Any callable named plain 'time' that is not the module is fine.
+    return time()

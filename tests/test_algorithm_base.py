@@ -63,10 +63,28 @@ class TestAlgorithmResult:
         result = AlgorithmResult("x", [], IOStats(), elements_total=0)
         assert result.pruning_power == 1.0
 
-    def test_pruning_power_clamped(self):
+    def test_pruning_power_overcount_raises_under_invariants(self):
+        # The old behavior silently clamped elements_read down to
+        # elements_total, masking accounting bugs; with invariants armed
+        # (the whole suite runs with REPRO_CHECK_INVARIANTS=1) an
+        # over-counted per-query ledger is now a contract violation.
+        from repro.contracts import ContractViolation
+
         stats = IOStats()
-        stats.charge_element(500)  # e.g. NSL scan-and-discard overshoot
+        stats.charge_element(500)
         result = AlgorithmResult("x", [], stats, elements_total=100)
+        with pytest.raises(ContractViolation, match="io-accounting"):
+            result.pruning_power
+
+    def test_pruning_power_shared_stats_clamps(self):
+        # Batched execution charges one ledger for the whole batch, so
+        # per-query reads legitimately exceed per-query list totals;
+        # shared_stats=True keeps the clamp for that case.
+        stats = IOStats()
+        stats.charge_element(500)
+        result = AlgorithmResult(
+            "x", [], stats, elements_total=100, shared_stats=True
+        )
         assert result.pruning_power == 0.0
 
 

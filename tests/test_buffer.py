@@ -83,6 +83,43 @@ class TestBufferedIOStats:
         assert stats.random_pages == 1
         assert stats.buffer_hits == 0
 
+    def test_snapshot_covers_base_counters(self):
+        # Regression: iterating self.__slots__ saw only the subclass's
+        # own slots, so a buffered snapshot dropped every base counter.
+        stats = BufferedIOStats(4)
+        stats.charge_element(3)
+        stats.charge_random_page(key=("f", 1))
+        snap = stats.snapshot()
+        assert set(snap) == set(BufferedIOStats.COUNTER_FIELDS)
+        assert snap["elements_read"] == 3
+        assert snap["random_pages"] == 1
+
+    def test_merge_buffered_into_plain(self):
+        from repro.storage.pages import IOStats
+
+        plain, buffered = IOStats(), BufferedIOStats(4)
+        plain.charge_element(2)
+        buffered.charge_element(5)
+        buffered.charge_random_page(key=("f", 1))
+        buffered.charge_random_page(key=("f", 1))  # one hit
+        plain.add(buffered)
+        # The plain ledger has no buffer_hits counter; everything it
+        # does track accumulates.
+        assert plain.elements_read == 7
+        assert plain.random_pages == 1
+
+    def test_merge_plain_into_buffered(self):
+        from repro.storage.pages import IOStats
+
+        plain, buffered = IOStats(), BufferedIOStats(4)
+        plain.charge_element(2)
+        buffered.charge_random_page(key=("f", 1))
+        buffered.charge_random_page(key=("f", 1))
+        buffered.add(plain)
+        # Counters the plain ledger lacks contribute zero, not AttributeError.
+        assert buffered.elements_read == 2
+        assert buffered.buffer_hits == 1
+
 
 class TestBufferedSearch:
     @pytest.fixture(scope="class")

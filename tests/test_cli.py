@@ -225,6 +225,58 @@ class TestBatchCommand:
                  "--input", str(queries_file), "--strategy", "bogus"]
             )
 
+    def test_batch_metrics_summary_on_stderr(self, index_dir, queries_file,
+                                             capsys):
+        code, out = run_cli(
+            ["batch", "--index", str(index_dir),
+             "--input", str(queries_file), "--threshold", "0.5",
+             "--metrics"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "metrics: " in err
+        assert "queries=" in err
+        # The scoped registry must not leak into the process default.
+        from repro.obs import metrics as obs_metrics
+
+        assert obs_metrics.get_registry().snapshot() == {}
+
+
+class TestTraceCommand:
+    @pytest.fixture()
+    def index_dir(self, strings_file, tmp_path):
+        run_cli(["index", "--input", str(strings_file),
+                 "--output", str(tmp_path / "idx")])
+        return tmp_path / "idx"
+
+    def test_query_trace_then_render(self, index_dir, tmp_path):
+        import json
+
+        trace_path = tmp_path / "spans.jsonl"
+        code, out = run_cli(
+            ["query", "--index", str(index_dir), "--text", "Main Stret",
+             "--threshold", "0.5", "--trace", str(trace_path)]
+        )
+        assert code == 0
+        assert "Main Street" in out  # tracing must not change answers
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        names = {r["name"] for r in records}
+        assert "query" in names and "sf.scan_list" in names
+
+        code, out = run_cli(["trace", "--input", str(trace_path)])
+        assert code == 0
+        assert "self_ms" in out
+        assert "sf.scan_list" in out
+
+    def test_trace_missing_file_is_error(self, tmp_path):
+        code, _ = run_cli(
+            ["trace", "--input", str(tmp_path / "nope.jsonl")]
+        )
+        assert code == 2
+
 
 class TestServeCommand:
     def test_serve_end_to_end(self, strings_file, tmp_path):
@@ -267,6 +319,18 @@ class TestServeCommand:
                 body = json.loads(resp.read())
             assert body["ok"]
             assert body["results"][0]["payload"] == "Main Street"
+            # A serving process always collects metrics: the scrape must
+            # carry the query that was just answered.
+            with urllib.request.urlopen(url + "/metrics", timeout=5) as resp:
+                assert resp.headers["Content-Type"].startswith(
+                    "text/plain; version=0.0.4"
+                )
+                exposition = resp.read().decode("utf-8")
+            assert "# TYPE query_latency_seconds histogram" in exposition
+            assert 'query_latency_seconds_bucket{algo="sf",le="+Inf"} 1' \
+                in exposition
+            assert 'elements_read_total{algo="sf"}' in exposition
+            assert 'http_requests_total{path="/search"} 1' in exposition
         finally:
             proc.terminate()
             proc.wait(timeout=10)

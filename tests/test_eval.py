@@ -182,6 +182,18 @@ class TestHarness:
         assert row["engine"] == "sf"
         assert row["queries"] == 5
 
+    def test_run_workload_attaches_metrics_snapshot(self, context):
+        from repro.obs import metrics as obs_metrics
+
+        wl = make_workload(context.collection, (6, 10), count=3, seed=4)
+        # Disabled (the default): no snapshot rides on the summary.
+        assert context.run_workload("sf", wl, 0.8).metrics_snapshot is None
+        with obs_metrics.use_registry(obs_metrics.MetricsRegistry()):
+            summary = context.run_workload("sf", wl, 0.8)
+        snap = summary.metrics_snapshot
+        assert snap is not None
+        assert snap["queries_total"]['algo="sf"'] == 3
+
     def test_sweep_cross_product(self, context):
         wl = make_workload(context.collection, (6, 10), count=3, seed=2)
         out = context.sweep(["sf", "inra"], [wl], [0.7, 0.9])

@@ -1,0 +1,382 @@
+"""Tests for the observability layer (``repro.obs``).
+
+Covers the metrics registry (families, labels, histogram bucket edges,
+thread safety), the Prometheus text exposition against a golden
+document, the global registry runtime, the span tracer (nesting, JSONL
+round-trip, the flame summary), and the end-to-end wiring: running a
+query with a registry installed populates the documented families.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import SetCollection, SetSimilaritySearcher
+from repro.obs import metrics, trace
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+# ----------------------------------------------------------------------
+# primitives
+# ----------------------------------------------------------------------
+class TestCounterAndGauge:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge()
+        g.set(10)
+        g.dec(4)
+        g.inc()
+        assert g.value == pytest.approx(7.0)
+
+    def test_concurrent_increments_are_exact(self):
+        # The registry's whole reason to lock: N threads, no lost updates.
+        c = Counter()
+        threads = [
+            threading.Thread(
+                target=lambda: [c.inc() for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == pytest.approx(8000.0)
+
+
+class TestHistogram:
+    def test_bucket_edges_inclusive(self):
+        # Prometheus `le` semantics: an observation equal to a bound
+        # lands in that bound's bucket.
+        h = Histogram([0.1, 0.5, 1.0])
+        h.observe(0.1)
+        assert dict(h.cumulative_buckets())[0.1] == 1
+
+    def test_cumulative_counts(self):
+        h = Histogram([0.1, 0.5, 1.0])
+        for value in (0.05, 0.3, 0.7, 2.0):
+            h.observe(value)
+        buckets = h.cumulative_buckets()
+        assert buckets == [
+            (0.1, 1), (0.5, 2), (1.0, 3), (float("inf"), 4),
+        ]
+        assert h.count == 4
+        assert h.sum == pytest.approx(3.05)
+
+    def test_overflow_only_in_inf(self):
+        h = Histogram([0.1])
+        h.observe(99.0)
+        assert h.cumulative_buckets() == [(0.1, 0), (float("inf"), 1)]
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram([1.0, 0.5])
+        with pytest.raises(ValueError):
+            Histogram([])
+
+
+# ----------------------------------------------------------------------
+# registry and families
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_family_is_idempotent(self):
+        r = MetricsRegistry()
+        a = r.counter("queries_total", "Queries.", ("algo",))
+        b = r.counter("queries_total", "Queries.", ("algo",))
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("x_total")
+        with pytest.raises(ValueError):
+            r.gauge("x_total")
+
+    def test_label_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("y_total", labelnames=("algo",))
+        with pytest.raises(ValueError):
+            r.counter("y_total")
+
+    def test_invalid_names_rejected(self):
+        r = MetricsRegistry()
+        for bad in ("", "has space", "9leading", "dash-ed"):
+            with pytest.raises(ValueError):
+                r.counter(bad)
+
+    def test_labeled_children_are_independent(self):
+        r = MetricsRegistry()
+        family = r.counter("queries_total", labelnames=("algo",))
+        family.labels(algo="sf").inc(3)
+        family.labels(algo="nra").inc()
+        assert family.labels(algo="sf").value == pytest.approx(3.0)
+        assert family.labels(algo="nra").value == pytest.approx(1.0)
+        assert family.total() == pytest.approx(4.0)
+
+    def test_missing_label_rejected(self):
+        r = MetricsRegistry()
+        family = r.counter("z_total", labelnames=("algo", "kind"))
+        with pytest.raises(ValueError):
+            family.labels(algo="sf")
+
+    def test_labelless_family_proxies_child(self):
+        r = MetricsRegistry()
+        r.counter("plain_total").inc(2)
+        assert r.total("plain_total") == pytest.approx(2.0)
+
+    def test_snapshot_shape(self):
+        r = MetricsRegistry()
+        r.counter("c_total", labelnames=("algo",)).labels(algo="sf").inc()
+        r.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        snap = r.snapshot()
+        assert snap["c_total"] == {'algo="sf"': 1.0}
+        assert snap["h_seconds"][""]["count"] == 1
+        assert snap["h_seconds"][""]["buckets"][0] == [1.0, 1]
+        json.dumps(snap)  # JSON-ready, as documented
+
+    def test_null_registry_accepts_everything(self):
+        r = NullRegistry()
+        assert not r.enabled
+        r.counter("anything").labels(algo="sf").inc()
+        r.histogram("h").observe(1.0)
+        r.gauge("g").set(5)
+        assert r.snapshot() == {}
+        assert r.total("anything") == 0.0
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+class TestPrometheusExposition:
+    def test_golden_document(self):
+        r = MetricsRegistry()
+        r.counter(
+            "queries_total", "Queries executed.", ("algo",)
+        ).labels(algo="sf").inc(3)
+        r.histogram(
+            "latency_seconds", "Latency.", buckets=(0.1, 1.0)
+        ).observe(0.05)
+        r.gauge("inflight", "In-flight requests.").set(2)
+        expected = (
+            '# HELP inflight In-flight requests.\n'
+            '# TYPE inflight gauge\n'
+            'inflight 2\n'
+            '# HELP latency_seconds Latency.\n'
+            '# TYPE latency_seconds histogram\n'
+            'latency_seconds_bucket{le="0.1"} 1\n'
+            'latency_seconds_bucket{le="1"} 1\n'
+            'latency_seconds_bucket{le="+Inf"} 1\n'
+            'latency_seconds_sum 0.05\n'
+            'latency_seconds_count 1\n'
+            '# HELP queries_total Queries executed.\n'
+            '# TYPE queries_total counter\n'
+            'queries_total{algo="sf"} 3\n'
+        )
+        assert metrics.render_prometheus(r) == expected
+
+    def test_label_values_escaped(self):
+        r = MetricsRegistry()
+        r.counter("c_total", labelnames=("q",)).labels(
+            q='say "hi"\nback\\slash'
+        ).inc()
+        text = metrics.render_prometheus(r)
+        assert 'q="say \\"hi\\"\\nback\\\\slash"' in text
+
+    def test_null_registry_renders_empty(self):
+        assert metrics.render_prometheus(NullRegistry()) == ""
+
+
+# ----------------------------------------------------------------------
+# global runtime
+# ----------------------------------------------------------------------
+class TestGlobalRegistry:
+    def test_disabled_by_default(self):
+        assert metrics.get_registry().enabled is False
+
+    def test_use_registry_scopes(self):
+        before = metrics.get_registry()
+        with metrics.use_registry(MetricsRegistry()) as registry:
+            assert metrics.get_registry() is registry
+            registry.counter("x_total").inc()
+        assert metrics.get_registry() is before
+
+    def test_enable_is_idempotent(self):
+        previous = metrics.get_registry()
+        try:
+            first = metrics.enable()
+            second = metrics.enable()
+            assert first is second and first.enabled
+        finally:
+            metrics.set_registry(previous)
+
+    def test_summary_line(self):
+        with metrics.use_registry(MetricsRegistry()) as registry:
+            registry.counter(
+                "queries_total", labelnames=("algo",)
+            ).labels(algo="sf").inc(4)
+            registry.counter("elements_read_total").inc(128)
+            assert metrics.summary_line(registry) == (
+                "metrics: queries=4 elements_read=128"
+            )
+
+    def test_summary_line_disabled(self):
+        assert metrics.summary_line(NullRegistry()) == "metrics: disabled"
+
+
+# ----------------------------------------------------------------------
+# tracer
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_nesting_records_parents(self):
+        tracer = trace.Tracer()
+        with tracer.span("query", algo="sf") as outer:
+            with tracer.span("sf.scan_list", token="abc"):
+                tracer.event("sf.prune", count=2)
+            outer.note(answers=1)
+        by_name = {r.name: r for r in tracer.records}
+        query = by_name["query"]
+        scan = by_name["sf.scan_list"]
+        prune = by_name["sf.prune"]
+        assert query.parent_id == 0
+        assert scan.parent_id == query.span_id
+        assert prune.parent_id == scan.span_id
+        assert prune.duration == 0.0
+        assert query.attrs == {"algo": "sf", "answers": 1}
+
+    def test_durations_monotonic(self):
+        tracer = trace.Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {r.name: r for r in tracer.records}
+        assert by_name["outer"].duration >= by_name["inner"].duration >= 0.0
+
+    def test_jsonl_round_trip(self):
+        tracer = trace.Tracer()
+        with tracer.span("query", tau=0.8):
+            tracer.event("list.seek", skipped=7)
+        text = tracer.to_jsonl()
+        records = trace.read_jsonl(text)
+        assert [(r.span_id, r.parent_id, r.name, r.attrs)
+                for r in records] == \
+            [(r.span_id, r.parent_id, r.name, r.attrs)
+             for r in tracer.records]
+
+    def test_write_jsonl(self, tmp_path):
+        tracer = trace.Tracer()
+        with tracer.span("a"):
+            pass
+        path = tmp_path / "spans.jsonl"
+        assert tracer.write_jsonl(str(path)) == 1
+        assert len(trace.read_jsonl(path.read_text())) == 1
+
+    def test_capture_installs_and_restores(self):
+        assert trace.current() is None
+        with trace.capture() as tracer:
+            assert trace.current() is tracer
+            with trace.span("via-module"):
+                pass
+        assert trace.current() is None
+        assert [r.name for r in tracer.records] == ["via-module"]
+
+    def test_module_span_is_noop_when_uninstalled(self):
+        span = trace.span("ignored")
+        assert span is trace.NOOP_SPAN
+        with span:
+            span.note(anything=1)  # accepted, discarded
+
+    def test_threads_do_not_share_stacks(self):
+        tracer = trace.Tracer()
+        done = threading.Event()
+
+        def worker():
+            with tracer.span("worker-span"):
+                done.wait(1.0)
+
+        with tracer.span("main-span"):
+            t = threading.Thread(target=worker)
+            t.start()
+            done.set()
+            t.join()
+        by_name = {r.name: r for r in tracer.records}
+        # The worker's span must be a root, not a child of main-span.
+        assert by_name["worker-span"].parent_id == 0
+
+    def test_flame_summary(self):
+        tracer = trace.Tracer()
+        with tracer.span("query"):
+            with tracer.span("sf.scan_list"):
+                pass
+            with tracer.span("sf.scan_list"):
+                pass
+        text = trace.flame_summary(tracer.records)
+        lines = text.splitlines()
+        assert "span" in lines[0] and "self_ms" in lines[0]
+        assert any("query" in line and "  1" in line for line in lines)
+        assert any("sf.scan_list" in line and "  2" in line
+                   for line in lines)
+
+    def test_flame_summary_empty(self):
+        assert trace.flame_summary([]) == "(empty trace)"
+
+
+# ----------------------------------------------------------------------
+# end-to-end wiring
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def searcher():
+    sets = [
+        ["apple", "banana", "cherry"],
+        ["apple", "banana", "date"],
+        ["elder", "fig", "grape", "apple"],
+        ["banana", "cherry", "date", "elder"],
+    ] * 5
+    return SetSimilaritySearcher(SetCollection.from_token_sets(sets))
+
+
+class TestQueryWiring:
+    def test_search_populates_documented_families(self, searcher):
+        with metrics.use_registry(MetricsRegistry()) as registry:
+            result = searcher.search(["apple", "banana", "cherry"], 0.5,
+                                     algorithm="sf")
+            assert result.results
+            assert registry.total("queries_total") == 1
+            assert registry.get("queries_total").labels(algo="sf").value == 1
+            assert registry.total("elements_read_total") == \
+                result.stats.elements_read
+            latency = registry.get("query_latency_seconds")
+            assert latency.labels(algo="sf").count == 1
+            assert latency.labels(algo="sf").bounds == \
+                DEFAULT_LATENCY_BUCKETS
+
+    def test_search_traces_list_scans(self, searcher):
+        with trace.capture() as tracer:
+            searcher.search(["apple", "banana", "cherry"], 0.5,
+                            algorithm="sf")
+        names = {r.name for r in tracer.records}
+        assert "query" in names and "sf.scan_list" in names
+        query = next(r for r in tracer.records if r.name == "query")
+        assert query.attrs["algo"] == "sf"
+        assert "answers" in query.attrs
+        scans = [r for r in tracer.records if r.name == "sf.scan_list"]
+        assert all(r.parent_id == query.span_id for r in scans)
+
+    def test_disabled_search_records_nothing(self, searcher):
+        searcher.search(["apple", "banana"], 0.5, algorithm="sf")
+        assert metrics.get_registry().snapshot() == {}

@@ -28,6 +28,7 @@ from repro import (
 )
 from repro.core.errors import ConfigurationError, EmptyQueryError
 from repro.data.synthetic import generate_word_database
+from repro.obs import metrics as obs_metrics
 from repro.service import (
     DEGRADED_ALGORITHM,
     GenerationLRUCache,
@@ -366,6 +367,37 @@ class TestConcurrentUse:
         assert got == expected
 
 
+class TestServiceMetrics:
+    def test_cache_hit_and_miss_counters(self, service):
+        with obs_metrics.use_registry(obs_metrics.MetricsRegistry()) as reg:
+            service.search(["data", "cleaning"], 0.5)
+            service.search(["data", "cleaning"], 0.5)
+            hits = reg.get("cache_hits_total")
+            misses = reg.get("cache_misses_total")
+            assert hits.labels(cache="result").value == 1
+            assert misses.labels(cache="result").value == 1
+            assert reg.total("service_queries_total") == 2
+            latency = reg.get("service_request_latency_seconds")
+            # Cache hits are observed too — the histogram covers every
+            # answered request, not just index executions.
+            assert latency.labels().count == 2
+
+    def test_deadline_degradation_counters(self, searcher):
+        with obs_metrics.use_registry(obs_metrics.MetricsRegistry()) as reg:
+            slow = TestDeadline._slow_service(searcher, primary_sleep=1.5)
+            with slow as service:
+                result = service.search(
+                    ["data", "cleaning"], 0.4, deadline=0.05
+                )
+            assert result.degraded
+            assert reg.total("deadline_degradations_total") == 1
+            assert reg.total("deadline_misses_total") == 1
+
+    def test_disabled_registry_stays_empty(self, service):
+        service.search(["data", "cleaning"], 0.5)
+        assert obs_metrics.get_registry().snapshot() == {}
+
+
 class TestHTTPServer:
     @pytest.fixture()
     def server(self):
@@ -444,3 +476,30 @@ class TestHTTPServer:
         with pytest.raises(urllib.error.HTTPError) as exc:
             urllib.request.urlopen(server.url + "/nope", timeout=10)
         assert exc.value.code == 404
+
+    def test_metrics_endpoint_scrapes_prometheus_text(self, server):
+        with obs_metrics.use_registry(obs_metrics.MetricsRegistry()):
+            self._post(
+                server.url + "/search",
+                {"text": "Main Stret", "threshold": 0.5},
+            )
+            with urllib.request.urlopen(
+                server.url + "/metrics", timeout=10
+            ) as resp:
+                content_type = resp.headers["Content-Type"]
+                text = resp.read().decode("utf-8")
+        assert content_type == obs_metrics.PROMETHEUS_CONTENT_TYPE
+        # The documented families, in valid exposition shape: HELP/TYPE
+        # headers, labeled counters, cumulative histogram buckets.
+        assert "# TYPE queries_total counter" in text
+        assert 'elements_read_total{algo="sf"}' in text
+        assert 'query_latency_seconds_bucket{algo="sf",le="+Inf"} 1' in text
+        assert "service_request_latency_seconds_count 1" in text
+        assert 'http_requests_total{path="/search"}' in text
+
+    def test_metrics_endpoint_empty_when_disabled(self, server):
+        with urllib.request.urlopen(
+            server.url + "/metrics", timeout=10
+        ) as resp:
+            assert resp.status == 200
+            assert resp.read() == b""

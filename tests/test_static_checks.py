@@ -15,7 +15,13 @@ FIXTURES = Path(__file__).resolve().parent / "fixtures" / "check"
 sys.path.insert(0, str(REPO_ROOT))
 
 from tools.check import run_checks  # noqa: E402
-from tools.check import algocontract, docrefs, floatcmp, layering  # noqa: E402
+from tools.check import (  # noqa: E402
+    algocontract,
+    docrefs,
+    floatcmp,
+    layering,
+    timesource,
+)
 from tools.check.base import load_modules  # noqa: E402
 from tools.check.baseline import read_baseline  # noqa: E402
 from tools.check.cli import DEFAULT_BASELINE  # noqa: E402
@@ -159,6 +165,26 @@ class TestPaperReferencePass:
         assert "paper-reference" in output
 
 
+class TestTimeSourcePass:
+    def test_good_fixture_clean(self):
+        # Monotonic clocks, a pragma'd epoch stamp, and a local callable
+        # that merely *shadows* the name `time` must all pass.
+        assert timesource.run(modules_of("timesource_good.py")) == []
+
+    def test_bad_fixture_all_flavours_flagged(self):
+        violations = timesource.run(modules_of("timesource_bad.py"))
+        # time.time x2, time.time_ns x2, `now` asname, bare time_ns.
+        assert len(violations) == 6
+        assert {v.line for v in violations} == {9, 11, 15, 17, 21, 25}
+        messages = " ".join(repr(v) for v in violations)
+        assert "time.perf_counter()" in messages
+
+    def test_cli_exits_nonzero_on_bad_fixture(self):
+        code, output = run_cli(str(FIXTURES / "timesource_bad.py"))
+        assert code == 1
+        assert "time-source" in output
+
+
 class TestCliBehaviour:
     def test_select_unknown_pass_is_usage_error(self):
         code, output = run_cli("--select", "bogus")
@@ -175,7 +201,7 @@ class TestCliBehaviour:
         code, output = run_cli("--list-passes")
         assert code == 0
         for name in ("layering", "float-equality", "algorithm-contract",
-                     "paper-reference"):
+                     "paper-reference", "time-source"):
             assert name in output
 
     def test_repro_check_subcommand(self):

@@ -1,6 +1,6 @@
 """Custom static-analysis suite for the repro codebase.
 
-Four AST passes over the source tree:
+Five AST passes over the source tree:
 
 * ``layering`` — import-layer DAG with a ratcheting baseline;
 * ``float-equality`` — no ``==``/``!=`` on similarity scores;
@@ -8,6 +8,8 @@ Four AST passes over the source tree:
   algorithms;
 * ``paper-reference`` — registered algorithms cite the paper construct
   they implement;
+* ``time-source`` — no wall-clock ``time.time()`` in timing code
+  (latencies and spans must use monotonic clocks);
 
 plus one execution pass:
 
@@ -18,7 +20,14 @@ plus one execution pass:
 Run via ``python -m tools.check`` or ``repro check``.
 """
 
-from . import algocontract, docrefs, docsnippets, floatcmp, layering  # noqa: F401
+from . import (  # noqa: F401
+    algocontract,
+    docrefs,
+    docsnippets,
+    floatcmp,
+    layering,
+    timesource,
+)
 from .base import CheckError, ModuleInfo, Violation, load_modules
 from .cli import main
 
@@ -54,5 +63,6 @@ def run_checks(paths, baseline_path=None):
     violations.extend(floatcmp.run(modules))
     violations.extend(algocontract.run(modules))
     violations.extend(docrefs.run(modules))
+    violations.extend(timesource.run(modules))
     violations.sort(key=lambda v: v.sort_key)
     return violations

@@ -17,7 +17,7 @@ import sys
 from pathlib import Path
 from typing import IO, List, Optional
 
-from . import algocontract, docrefs, docsnippets, floatcmp, layering
+from . import algocontract, docrefs, docsnippets, floatcmp, layering, timesource
 from .base import CheckError, load_modules
 from .baseline import read_baseline, write_baseline
 
@@ -30,6 +30,7 @@ PASSES = {
     floatcmp.CHECK_NAME: floatcmp.run,
     algocontract.CHECK_NAME: algocontract.run,
     docrefs.CHECK_NAME: docrefs.run,
+    timesource.CHECK_NAME: timesource.run,
     docsnippets.CHECK_NAME: None,  # handled specially (runs md snippets)
 }
 
@@ -39,9 +40,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m tools.check",
         description=(
             "Custom AST lint suite: import layering, float-equality on "
-            "scores, algorithm registry contract, paper citations — plus "
-            "a doc-snippets pass that executes the documentation's "
-            "fenced Python examples."
+            "scores, algorithm registry contract, paper citations, "
+            "wall-clock time sources — plus a doc-snippets pass that "
+            "executes the documentation's fenced Python examples."
         ),
     )
     parser.add_argument(

@@ -2,14 +2,19 @@
 
 The package layers, from foundation to application::
 
-    core                     # measure, properties, collections, errors
-      └─ contracts           # runtime invariant checks (core only)
-          └─ data, storage   # corpora / physical index structures
-              └─ algorithms  # the selection algorithms
-                  └─ service # concurrent serving: caches, batches, deadlines
-                      └─ relational
-                          └─ eval
-                              └─ cli, __main__, package root
+    obs                      # telemetry: metrics registry + span tracer
+      └─ core                # measure, properties, collections, errors
+          └─ contracts       # runtime invariant checks (core only)
+              └─ data, storage   # corpora / physical index structures
+                  └─ algorithms  # the selection algorithms
+                      └─ service # concurrent serving: caches, batches
+                          └─ relational
+                              └─ eval
+                                  └─ cli, __main__, package root
+
+``obs`` is the universal bottom layer: anything may import it, it
+imports nothing from the package (its registry and tracer are pure
+stdlib), so instrumentation can never create an import cycle.
 
 A module may import its own layer or any *strictly lower* layer at
 module level.  Upward (or sideways, e.g. ``data ↔ storage``) imports
@@ -41,17 +46,18 @@ CHECK_NAME = "layering"
 # its own package).  Top-level *modules* of the root package (cli,
 # contracts, __main__) are layers of their own.
 LAYERS: Dict[str, int] = {
-    "core": 0,
-    "contracts": 1,
-    "data": 2,
-    "storage": 2,
-    "algorithms": 3,
-    "service": 4,
-    "relational": 5,
-    "eval": 6,
-    "cli": 7,
-    "__main__": 8,
-    "": 8,  # the package root (__init__) re-exports everything
+    "obs": 0,
+    "core": 1,
+    "contracts": 2,
+    "data": 3,
+    "storage": 3,
+    "algorithms": 4,
+    "service": 5,
+    "relational": 6,
+    "eval": 7,
+    "cli": 8,
+    "__main__": 9,
+    "": 9,  # the package root (__init__) re-exports everything
 }
 
 

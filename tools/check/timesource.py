@@ -1,0 +1,80 @@
+"""Time-source lint: no wall-clock ``time.time()`` in measurement code.
+
+Every duration this repository reports — query latencies, span traces,
+benchmark tables — must come from a monotonic clock.  ``time.time()``
+follows the system clock: NTP slews and manual adjustments move it
+backwards, which silently corrupts latency histograms and reorders
+trace spans.  ``time.perf_counter()`` (high resolution) and
+``time.monotonic()`` are the approved sources; ``time.time_ns()`` is
+flagged for the same reason.
+
+This pass flags calls to ``time.time`` / ``time.time_ns`` — whether
+through the module (``time.time()``) or a direct binding
+(``from time import time``).  Code that genuinely needs the wall-clock
+epoch (file timestamps, report datestamps) marks the line with an
+explicit ``# repro-check: allow-wall-clock`` pragma, making every
+wall-clock read a reviewed decision.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Set
+
+from .base import ModuleInfo, Violation
+
+CHECK_NAME = "time-source"
+PRAGMA_NAME = "allow-wall-clock"
+
+_WALL_CLOCK_ATTRS = frozenset({"time", "time_ns"})
+
+
+def _wall_clock_bindings(tree: ast.AST) -> Set[str]:
+    """Local names bound to the wall clock via ``from time import ...``."""
+    bindings: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALL_CLOCK_ATTRS:
+                    bindings.add(alias.asname or alias.name)
+    return bindings
+
+
+def _flagged_callee(call: ast.Call, bindings: Set[str]) -> Optional[str]:
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in _WALL_CLOCK_ATTRS
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "time"
+    ):
+        return f"time.{func.attr}"
+    if isinstance(func, ast.Name) and func.id in bindings:
+        return func.id
+    return None
+
+
+def run(modules: Sequence[ModuleInfo]) -> List[Violation]:
+    violations: List[Violation] = []
+    for module in modules:
+        bindings = _wall_clock_bindings(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _flagged_callee(node, bindings)
+            if callee is None:
+                continue
+            if module.line_has_pragma(node.lineno, PRAGMA_NAME):
+                continue
+            violations.append(
+                Violation(
+                    str(module.path),
+                    node.lineno,
+                    CHECK_NAME,
+                    f"wall-clock read {callee}() in timing code; use "
+                    "time.perf_counter() or time.monotonic() (monotonic "
+                    "clocks survive NTP slews), or mark a genuine epoch "
+                    "timestamp with '# repro-check: allow-wall-clock'",
+                )
+            )
+    return violations
