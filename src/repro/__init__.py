@@ -47,9 +47,24 @@ from .core.unweighted import CosineSetSearcher
 from .core.updatable import UpdatableSearcher
 from .core.weighted import WeightedSelector
 from .core.weights import IdfStatistics
+from .core.errors import (
+    CircuitOpenError,
+    CorruptIndexError,
+    ServiceOverloadError,
+)
+from .faults import (
+    TornWriteError,
+    TransientIOError,
+    use_fault_plan,
+)
 from .service import ServiceConfig, ServiceResult, SimilarityService
 from .storage.invlist import InvertedIndex
-from .storage.persist import load_searcher, save_searcher
+from .storage.oplog import DurableUpdatableSearcher, OperationsLog
+from .storage.persist import (
+    RecoveryReport,
+    load_searcher,
+    save_searcher,
+)
 
 __version__ = "1.0.0"
 
@@ -82,12 +97,21 @@ __all__ = [
     "CosineSetSearcher",
     "PrefixFilterSearcher",
     "UpdatableSearcher",
+    "DurableUpdatableSearcher",
+    "OperationsLog",
     "WeightedSelector",
     "IdfStatistics",
     "InvertedIndex",
     "ServiceConfig",
     "ServiceResult",
     "SimilarityService",
+    "CircuitOpenError",
+    "CorruptIndexError",
+    "ServiceOverloadError",
+    "TornWriteError",
+    "TransientIOError",
+    "use_fault_plan",
+    "RecoveryReport",
     "load_searcher",
     "save_searcher",
     "__version__",

@@ -417,6 +417,8 @@ def cmd_batch(args, out: IO[str]) -> int:
 
 
 def cmd_serve(args, out: IO[str]) -> int:
+    import signal
+
     from .obs import metrics as obs_metrics
     from .service import ServiceHTTPServer
 
@@ -429,19 +431,35 @@ def cmd_serve(args, out: IO[str]) -> int:
     server = ServiceHTTPServer(
         service, host=args.host, port=args.port, verbose=args.verbose
     )
+
+    def _request_shutdown(signum, frame):
+        # Funnel SIGTERM into the same KeyboardInterrupt path SIGINT
+        # takes, so both exit through the graceful drain below.
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _request_shutdown)
+    except ValueError:
+        pass  # not the main thread (e.g. under a test harness)
+
     print(
         f"serving {args.index} on {server.url} "
         "(POST /search, POST /batch, GET /stats, GET /metrics, "
-        "GET /healthz; Ctrl-C to stop)",
+        "GET /healthz; SIGINT/SIGTERM drains and stops)",
         file=out,
     )
     try:
         server.serve_forever()
-    except KeyboardInterrupt:  # pragma: no cover - interactive only
-        pass
+    except KeyboardInterrupt:
+        print("shutting down: draining in-flight queries...", file=out)
     finally:
+        # Stop admitting first (new queries get 503 + Retry-After while
+        # the listener winds down), let in-flight queries finish, then
+        # release the sockets and the worker pool.
+        service.drain(timeout=10.0)
         server.shutdown()
         service.close()
+    print("bye", file=out)
     return 0
 
 

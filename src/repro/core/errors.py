@@ -49,5 +49,43 @@ class StorageError(ReproError):
     """A failure in the simulated storage layer (pages, hashing, trees)."""
 
 
+class CorruptIndexError(StorageError):
+    """A persisted index failed integrity checks and could not be recovered.
+
+    ``report`` is the :class:`repro.storage.persist.RecoveryReport`
+    describing exactly which generations and components were damaged and
+    what recovery was attempted (typed loosely here: ``core`` sits below
+    ``storage`` in the layering DAG).
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class ServiceOverloadError(ReproError):
+    """Admission control shed this query: the service queue is full.
+
+    ``retry_after`` is the suggested back-off in seconds (surfaced as the
+    HTTP ``Retry-After`` header by the service's HTTP front end).
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class CircuitOpenError(ReproError):
+    """The service's circuit breaker is open: the backend is failing fast.
+
+    Raised without touching the backend while the breaker cools down;
+    callers should treat it like overload (retry later).
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class SchemaError(ReproError):
     """A relational operation referenced a column that does not exist."""

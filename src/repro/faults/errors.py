@@ -1,0 +1,50 @@
+"""Exception types raised by injected faults.
+
+These deliberately do **not** derive from
+:class:`repro.core.errors.ReproError`: the ``faults`` package sits at
+rank 0 of the layering DAG (next to ``obs``) and imports nothing from
+the rest of the package, and — more importantly — an injected fault
+models an *infrastructure* failure (a disk read error, a torn write),
+not a library error.  Deriving from :class:`OSError` means code under
+test exercises the same ``except`` clauses that real I/O failures
+would take.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(OSError):
+    """Base class for every error raised by an injected fault.
+
+    ``site`` names the fault point that fired (e.g.
+    ``"storage.read_page"``), so a test asserting on a specific failure
+    can tell injected faults apart from real ones.
+    """
+
+    def __init__(self, site: str, detail: str = "") -> None:
+        self.site = site
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"injected fault at {site!r}{suffix}")
+
+
+class TransientIOError(FaultError):
+    """A recoverable I/O failure: retrying the operation may succeed.
+
+    The service layer's retry machinery
+    (:mod:`repro.service.resilience`) treats this class — and only this
+    class — as retryable by default.
+    """
+
+
+class TornWriteError(FaultError):
+    """A write that stopped partway, as if the process was killed.
+
+    Raised by write-side fault points to simulate a crash (kill -9,
+    power loss) at that exact point.  Crash-safe code must leave the
+    on-disk state loadable as either the old or the new generation when
+    this fires — never corrupt.
+    """
+
+
+class FaultSpecError(ValueError):
+    """A ``REPRO_FAULTS`` spec string that does not parse."""

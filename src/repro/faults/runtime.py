@@ -1,0 +1,131 @@
+"""Process-wide fault-plan slot: arm, disarm, scope, and hot-path hooks.
+
+Mirrors the :mod:`repro.obs.registry` runtime: one global slot holding
+either the shared :data:`NULL_PLAN` (disabled — the default) or an
+armed :class:`~repro.faults.plan.FaultPlan`.  Instrumented code calls
+:func:`maybe_fire` / :func:`maybe_mangle`, which cost one attribute
+test when disarmed.
+
+Arming:
+
+* ``REPRO_FAULTS=<spec>`` in the environment arms the process at
+  import time (see :func:`repro.faults.plan.parse_fault_spec` for the
+  grammar).
+* :func:`arm` / :func:`disarm` switch the slot explicitly.
+* :func:`use_fault_plan` scopes a plan to a ``with`` block — the form
+  tests use.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional, Union
+
+from .plan import FaultPlan, NullFaultPlan, parse_fault_spec
+
+__all__ = [
+    "ENV_VAR",
+    "NULL_PLAN",
+    "get_plan",
+    "arm",
+    "disarm",
+    "use_fault_plan",
+    "maybe_fire",
+    "maybe_mangle",
+]
+
+ENV_VAR = "REPRO_FAULTS"
+
+NULL_PLAN = NullFaultPlan()
+
+
+class _PlanState:
+    """Mutable slot so `from .runtime import maybe_fire` stays valid
+    across arm/disarm (same shape as ``repro.obs.metrics._RegistryState``)."""
+
+    __slots__ = ("plan", "lock")
+
+    def __init__(self) -> None:
+        self.plan: Union[FaultPlan, NullFaultPlan] = NULL_PLAN
+        self.lock = threading.Lock()
+
+
+STATE = _PlanState()
+
+
+def get_plan() -> Union[FaultPlan, NullFaultPlan]:
+    """The currently armed plan (the Null twin when injection is off)."""
+    return STATE.plan
+
+
+def arm(
+    spec_or_plan: Union[str, FaultPlan],
+    sleeper: Optional[Callable[[float], None]] = None,
+) -> FaultPlan:
+    """Arm fault injection process-wide; returns the installed plan."""
+    if isinstance(spec_or_plan, str):
+        plan = parse_fault_spec(spec_or_plan, sleeper=sleeper)
+    else:
+        plan = spec_or_plan
+    with STATE.lock:
+        STATE.plan = plan
+    return plan
+
+
+def disarm() -> None:
+    """Return the slot to the Null twin."""
+    with STATE.lock:
+        STATE.plan = NULL_PLAN
+
+
+@contextmanager
+def use_fault_plan(
+    spec_or_plan: Union[str, FaultPlan],
+    sleeper: Optional[Callable[[float], None]] = None,
+) -> Iterator[FaultPlan]:
+    """Arm a plan for the duration of a ``with`` block, then restore.
+
+    >>> from repro.faults import use_fault_plan
+    >>> with use_fault_plan("seed=7;demo.site:transient:count=1") as plan:
+    ...     pass  # code under test runs here
+    """
+    if isinstance(spec_or_plan, str):
+        plan = parse_fault_spec(spec_or_plan, sleeper=sleeper)
+    else:
+        plan = spec_or_plan
+    with STATE.lock:
+        previous = STATE.plan
+        STATE.plan = plan
+    try:
+        yield plan
+    finally:
+        with STATE.lock:
+            STATE.plan = previous
+
+
+def maybe_fire(site: str) -> None:
+    """Hot-path hook: apply control-flow faults for ``site`` if armed.
+
+    Call sites resolve this through their module global at call time
+    (``faults_runtime.maybe_fire(site)``) so benchmarks can monkeypatch
+    it away to measure the instrumentation floor.
+    """
+    plan = STATE.plan
+    if plan.armed:
+        plan.fire(site)
+
+
+def maybe_mangle(site: str, data: bytes) -> bytes:
+    """Hot-path hook: pass ``data`` through data-corruption rules."""
+    plan = STATE.plan
+    if plan.armed:
+        return plan.mangle(site, data)
+    return data
+
+
+_spec = os.environ.get(ENV_VAR, "").strip()
+if _spec:
+    arm(_spec)
+del _spec

@@ -16,6 +16,12 @@ from .cache import (
     result_cache_key,
 )
 from .httpd import ServiceHTTPServer
+from .resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    RetryPolicy,
+    call_with_retries,
+)
 from .service import (
     BATCH_STRATEGIES,
     DEGRADED_ALGORITHM,
@@ -29,11 +35,15 @@ __all__ = [
     "BATCH_STRATEGIES",
     "DEGRADED_ALGORITHM",
     "SHARED_SCAN_OVERLAP",
+    "AdmissionController",
+    "CircuitBreaker",
     "GenerationLRUCache",
+    "RetryPolicy",
     "ServiceConfig",
     "ServiceHTTPServer",
     "ServiceResult",
     "SimilarityService",
+    "call_with_retries",
     "prepared_cache_key",
     "result_cache_key",
 ]

@@ -32,7 +32,11 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
 
-from ..core.errors import ReproError
+from ..core.errors import (
+    CircuitOpenError,
+    ReproError,
+    ServiceOverloadError,
+)
 from ..obs import metrics as obs_metrics
 from .service import ServiceResult, SimilarityService
 
@@ -55,11 +59,26 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, body: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        body: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if status >= 400:
+            registry = obs_metrics.get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "http_errors_total",
+                    "HTTP error responses by status code.",
+                    ("status",),
+                ).labels(status=str(status)).inc()
         data = json.dumps(body).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
@@ -103,20 +122,49 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _send_unexpected(self, exc: BaseException) -> None:
+        """Map an unhandled handler exception to a JSON 500.
+
+        Without this, ``BaseHTTPRequestHandler`` dumps a traceback to
+        the socket mid-response.  The body carries the exception type
+        but not its message — internals stay out of client responses;
+        operators get the detail from the (verbose) server log.
+        """
+        if self.server.verbose:
+            self.log_error(
+                "unhandled %s: %s", type(exc).__name__, exc
+            )
+        self._send_json(
+            500,
+            {
+                "ok": False,
+                "error": f"internal error ({type(exc).__name__})",
+            },
+        )
+
     # -- routes ---------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
-        known = ("/healthz", "/stats", "/metrics")
-        self._count_request(self.path if self.path in known else "other")
-        if self.path == "/healthz":
-            self._send_json(200, {"ok": True})
-        elif self.path == "/stats":
-            self._send_json(200, self.server.service.stats())
-        elif self.path == "/metrics":
-            self._send_metrics()
-        else:
-            self._send_json(404, {"ok": False, "error": "unknown path"})
+        try:
+            known = ("/healthz", "/stats", "/metrics")
+            self._count_request(self.path if self.path in known else "other")
+            if self.path == "/healthz":
+                self._send_json(200, {"ok": True})
+            elif self.path == "/stats":
+                self._send_json(200, self.server.service.stats())
+            elif self.path == "/metrics":
+                self._send_metrics()
+            else:
+                self._send_json(404, {"ok": False, "error": "unknown path"})
+        except Exception as exc:  # repro-check: allow-broad-except
+            self._send_unexpected(exc)
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler contract)
+        try:
+            self._route_post()
+        except Exception as exc:  # repro-check: allow-broad-except
+            self._send_unexpected(exc)
+
+    def _route_post(self) -> None:
         if self.path not in ("/search", "/batch"):
             self._count_request("other")
             self._send_json(404, {"ok": False, "error": "unknown path"})
@@ -130,6 +178,17 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._handle_search(body)
             else:
                 self._handle_batch(body)
+        except (ServiceOverloadError, CircuitOpenError) as exc:
+            # Load shedding / fail-fast: tell the client when to retry.
+            self._send_json(
+                503,
+                {"ok": False, "error": str(exc), "overloaded": True},
+                headers={
+                    "Retry-After": str(
+                        max(1, int(round(exc.retry_after)))
+                    )
+                },
+            )
         except ReproError as exc:
             self._send_json(400, {"ok": False, "error": str(exc)})
         except (TypeError, ValueError) as exc:

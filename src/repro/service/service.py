@@ -46,11 +46,18 @@ from ..core.errors import ConfigurationError, EmptyQueryError
 from ..core.query import PreparedQuery
 from ..core.search import SetSimilaritySearcher
 from ..core.updatable import UpdatableSearcher
+from ..faults import runtime as faults_runtime
 from ..obs import metrics as obs_metrics
 from .cache import (
     GenerationLRUCache,
     prepared_cache_key,
     result_cache_key,
+)
+from .resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    RetryPolicy,
+    call_with_retries,
 )
 
 DEGRADED_ALGORITHM = "sf"
@@ -83,6 +90,17 @@ class ServiceConfig:
         on a deadline miss: ``tau' = tau + degrade_tighten * (1 - tau)``.
     locality_sort:
         Sort batches by rarest-token key before dispatch.
+    retry_attempts / retry_base_delay / retry_max_delay / retry_seed:
+        Bounded-retry policy for transient backend I/O failures
+        (:class:`~repro.service.resilience.RetryPolicy`): total tries,
+        exponential-backoff base and cap (seconds), and the jitter
+        PRNG seed.
+    breaker_threshold / breaker_reset_seconds:
+        Circuit breaker: consecutive failures before opening, and how
+        long it fails fast before admitting a half-open probe.
+    max_inflight:
+        Admission-control bound on concurrently admitted queries
+        (batch weight = batch size); ``None`` disables shedding.
     """
 
     __slots__ = (
@@ -93,6 +111,13 @@ class ServiceConfig:
         "deadline_seconds",
         "degrade_tighten",
         "locality_sort",
+        "retry_attempts",
+        "retry_base_delay",
+        "retry_max_delay",
+        "retry_seed",
+        "breaker_threshold",
+        "breaker_reset_seconds",
+        "max_inflight",
     )
 
     def __init__(
@@ -104,6 +129,13 @@ class ServiceConfig:
         deadline_seconds: Optional[float] = None,
         degrade_tighten: float = 0.5,
         locality_sort: bool = True,
+        retry_attempts: int = 3,
+        retry_base_delay: float = 0.05,
+        retry_max_delay: float = 1.0,
+        retry_seed: int = 0,
+        breaker_threshold: int = 5,
+        breaker_reset_seconds: float = 30.0,
+        max_inflight: Optional[int] = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError("max_workers must be >= 1")
@@ -111,6 +143,14 @@ class ServiceConfig:
             raise ConfigurationError("degrade_tighten must be in (0, 1]")
         if deadline_seconds is not None and deadline_seconds <= 0.0:
             raise ConfigurationError("deadline_seconds must be positive")
+        if retry_attempts < 1:
+            raise ConfigurationError("retry_attempts must be >= 1")
+        if breaker_threshold < 1:
+            raise ConfigurationError("breaker_threshold must be >= 1")
+        if breaker_reset_seconds <= 0.0:
+            raise ConfigurationError("breaker_reset_seconds must be positive")
+        if max_inflight is not None and max_inflight < 1:
+            raise ConfigurationError("max_inflight must be >= 1")
         self.algorithm = algorithm
         self.max_workers = max_workers
         self.result_cache_size = result_cache_size
@@ -118,6 +158,13 @@ class ServiceConfig:
         self.deadline_seconds = deadline_seconds
         self.degrade_tighten = degrade_tighten
         self.locality_sort = locality_sort
+        self.retry_attempts = retry_attempts
+        self.retry_base_delay = retry_base_delay
+        self.retry_max_delay = retry_max_delay
+        self.retry_seed = retry_seed
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_seconds = breaker_reset_seconds
+        self.max_inflight = max_inflight
 
     def degraded_tau(self, tau: float) -> float:
         """The tightened cutoff used after a deadline miss."""
@@ -328,6 +375,17 @@ class SimilarityService:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_lock = threading.Lock()
         self._counter_lock = threading.Lock()
+        self._retry = RetryPolicy(
+            attempts=self.config.retry_attempts,
+            base_delay=self.config.retry_base_delay,
+            max_delay=self.config.retry_max_delay,
+            seed=self.config.retry_seed,
+        )
+        self._breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            reset_seconds=self.config.breaker_reset_seconds,
+        )
+        self._admission = AdmissionController(self.config.max_inflight)
         self.queries_served = 0
         self.degraded_count = 0
         self.coalesced_count = 0
@@ -339,6 +397,15 @@ class SimilarityService:
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: stop admitting, wait for in-flight queries,
+        then release the pool.  New arrivals are shed with
+        :class:`~repro.core.errors.ServiceOverloadError` while draining.
+        Returns True when everything in flight completed in time."""
+        drained = self._admission.drain(timeout)
+        self.close()
+        return drained
 
     def __enter__(self) -> "SimilarityService":
         return self
@@ -388,6 +455,9 @@ class SimilarityService:
             "degraded": self.degraded_count,
             "coalesced": self.coalesced_count,
             "deadline_misses": self.deadline_misses,
+            "inflight": self._admission.inflight,
+            "draining": self._admission.draining,
+            "breaker_state": self._breaker.state_name,
             "result_cache": (
                 self._results.stats() if self._results else None
             ),
@@ -395,6 +465,50 @@ class SimilarityService:
                 self._prepared.stats() if self._prepared else None
             ),
         }
+
+    # -- resilient backend execution -----------------------------------
+    def _execute_raw(
+        self,
+        tokens: Sequence[str],
+        prepared: PreparedQuery,
+        tau: float,
+        algorithm: str,
+    ) -> AlgorithmResult:
+        faults_runtime.maybe_fire("service.execute")
+        return self._backend.execute(tokens, prepared, tau, algorithm)
+
+    def _execute_resilient(
+        self,
+        tokens: Sequence[str],
+        prepared: PreparedQuery,
+        tau: float,
+        algorithm: str,
+    ) -> AlgorithmResult:
+        """One backend execution behind the breaker and retry policy.
+
+        Transient I/O errors (real or injected at the
+        ``service.execute`` fault point) are retried with jittered
+        backoff; exhausted retries and unexpected failures feed the
+        circuit breaker, which fails fast once ``breaker_threshold``
+        consecutive executions have failed.
+        """
+        self._breaker.allow()
+        try:
+            result = call_with_retries(
+                self._execute_raw,
+                tokens,
+                prepared,
+                tau,
+                algorithm,
+                policy=self._retry,
+            )
+        except Exception:  # repro-check: allow-broad-except
+            # Any failure flavour counts against the breaker; the
+            # exception itself is re-raised untouched.
+            self._breaker.record_failure()
+            raise
+        self._breaker.record_success()
+        return result
 
     # -- single-query path ---------------------------------------------
     def search(
@@ -404,11 +518,27 @@ class SimilarityService:
         algorithm: Optional[str] = None,
         deadline: Optional[float] = None,
     ) -> ServiceResult:
-        """One selection through the cache and deadline machinery.
+        """One selection through the admission, cache, and deadline
+        machinery.
 
         Raises :class:`EmptyQueryError` for queries with no tokens
-        (batch slots report it as ``error`` instead).
+        (batch slots report it as ``error`` instead) and
+        :class:`~repro.core.errors.ServiceOverloadError` when admission
+        control sheds the query.
         """
+        self._admission.acquire(1)
+        try:
+            return self._search_admitted(tokens, tau, algorithm, deadline)
+        finally:
+            self._admission.release(1)
+
+    def _search_admitted(
+        self,
+        tokens: Sequence[str],
+        tau: float,
+        algorithm: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> ServiceResult:
         algorithm = algorithm or self.config.algorithm
         deadline = (
             deadline if deadline is not None
@@ -429,13 +559,13 @@ class SimilarityService:
         prepared = self.prepare(tokens)
         if deadline is None:
             out = ServiceResult(
-                self._backend.execute(tokens, prepared, tau, algorithm),
+                self._execute_resilient(tokens, prepared, tau, algorithm),
                 tau,
                 algorithm,
             )
         else:
             future = self._pool().submit(
-                self._backend.execute, tokens, prepared, tau, algorithm
+                self._execute_resilient, tokens, prepared, tau, algorithm
             )
             out = self._collect_with_deadline(
                 future, tokens, prepared, tau, algorithm, deadline
@@ -539,7 +669,7 @@ class SimilarityService:
         except FutureTimeout:
             self._count(deadline_misses=1)
         fallback_tau = self.config.degraded_tau(tau)
-        fallback = self._backend.execute(
+        fallback = self._execute_resilient(
             tokens, prepared, fallback_tau, DEGRADED_ALGORITHM
         )
         if future.done() and future.exception() is None:
@@ -572,7 +702,29 @@ class SimilarityService:
         (term-at-a-time :class:`BatchSelector` scan, no deadlines) or
         ``"auto"`` (shared when token overlap is high and no deadline is
         configured).
+
+        Admission control weighs the whole batch: when admitting
+        ``len(queries)`` more queries would exceed ``max_inflight``,
+        the batch is shed with
+        :class:`~repro.core.errors.ServiceOverloadError`.
         """
+        weight = max(len(queries), 1)
+        self._admission.acquire(weight)
+        try:
+            return self._search_batch_admitted(
+                queries, tau, algorithm, deadline, strategy
+            )
+        finally:
+            self._admission.release(weight)
+
+    def _search_batch_admitted(
+        self,
+        queries: Sequence[Sequence[str]],
+        tau: float,
+        algorithm: Optional[str] = None,
+        deadline: Optional[float] = None,
+        strategy: str = "threads",
+    ) -> List[ServiceResult]:
         if strategy not in BATCH_STRATEGIES:
             raise ConfigurationError(
                 f"strategy must be one of {BATCH_STRATEGIES}, "
@@ -659,7 +811,7 @@ class SimilarityService:
                 key,
                 indices,
                 pool.submit(
-                    self._backend.execute,
+                    self._execute_resilient,
                     queries[indices[0]],
                     prepared[indices[0]],
                     tau,

@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from ..core.errors import ConfigurationError
+from ..faults import runtime as faults_runtime
 from .pages import IOStats
 
 __all__ = ["LRUBufferPool", "BufferedIOStats"]
@@ -91,12 +92,15 @@ class BufferedIOStats(IOStats):
         if key is not None and self.pool.access(key):
             self.buffer_hits += pages
             return
+        # Pool hits never touch disk; only the miss path can fault.
+        faults_runtime.maybe_fire("storage.buffer_miss")
         super().charge_sequential_page(pages)
 
     def charge_random_page(self, pages: int = 1, key=None) -> None:
         if key is not None and self.pool.access(key):
             self.buffer_hits += pages
             return
+        faults_runtime.maybe_fire("storage.buffer_miss")
         super().charge_random_page(pages)
 
     def __repr__(self) -> str:

@@ -31,6 +31,7 @@ from ..contracts import (
 )
 from ..core.collection import SetCollection
 from ..core.errors import IndexNotBuiltError
+from ..faults import runtime as faults_runtime
 from ..obs import trace as obs_trace
 from .exthash import ExtendibleHash
 from .pages import DEFAULT_PAGE_CAPACITY, IOStats, PagedFile
@@ -350,6 +351,7 @@ class InvertedIndex:
                 "hash index was not built; TA-style algorithms need "
                 "with_hash_index=True"
             )
+        faults_runtime.maybe_fire("storage.hash_probe")
         found, length = postings.hash.probe(set_id, stats)
         return length if found else None
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Any, Iterator, List, Optional, Sequence
 
 from ..core.errors import StorageError
+from ..faults import runtime as faults_runtime
 
 DEFAULT_PAGE_CAPACITY = 128
 """Records per page. With 16-byte postings this models ~2 KB pages."""
@@ -182,6 +183,7 @@ class PagedFile:
             raise StorageError(
                 f"record {position} out of range [0, {len(self._records)})"
             )
+        faults_runtime.maybe_fire("storage.read_page")
         if stats is not None:
             stats.charge_random_page(key=(id(self), self.page_of(position)))
         return self._records[position]
@@ -228,6 +230,9 @@ class SequentialCursor:
     def _charge_for(self, page: int, random: bool) -> None:
         if page == self._buffered_page:
             return
+        # Fault point sits past the buffered-page early-out, so it fires
+        # once per physical page read — where a real disk would fail.
+        faults_runtime.maybe_fire("storage.read_page")
         if self._stats is not None:
             key = (id(self._file), page)
             if random:

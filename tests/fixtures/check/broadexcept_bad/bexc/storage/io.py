@@ -1,0 +1,22 @@
+"""Bad: broad handlers in a storage module, three flavours."""
+
+
+def read_page(fh):
+    try:
+        return fh.read(4096)
+    except Exception:  # swallows injected TransientIOError
+        return b""
+
+
+def flush(fh):
+    try:
+        fh.flush()
+    except:  # noqa: E722 — bare except is the worst flavour
+        pass
+
+
+def close_quietly(fh):
+    try:
+        fh.close()
+    except (ValueError, Exception):  # broad name hidden in a tuple
+        pass

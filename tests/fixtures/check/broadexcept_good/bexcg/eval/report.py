@@ -1,0 +1,12 @@
+"""Good: a broad handler outside the patrolled layers is tolerated.
+
+``eval`` is report-and-continue territory; the pass only patrols the
+failure-critical ``storage`` and ``service`` layers.
+"""
+
+
+def render(section):
+    try:
+        return section.render()
+    except Exception:
+        return "<render failed>"

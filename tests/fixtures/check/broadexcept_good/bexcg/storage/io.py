@@ -1,0 +1,15 @@
+"""Good: narrow handlers, plus a pragma'd deliberate catch-all."""
+
+
+def read_page(fh):
+    try:
+        return fh.read(4096)
+    except OSError:
+        raise
+
+
+def last_resort(callback):
+    try:
+        return callback()
+    except Exception:  # repro-check: allow-broad-except
+        return None

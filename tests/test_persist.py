@@ -17,7 +17,9 @@ from repro.core.errors import StorageError
 @pytest.fixture()
 def saved(tmp_path, searcher):
     manifest = save_searcher(searcher, tmp_path / "idx")
-    return tmp_path / "idx", manifest, searcher
+    # The default layout is generational: the payload files live under
+    # the first generation directory, named by CURRENT.
+    return tmp_path / "idx" / "gen-000001", manifest, searcher
 
 
 class TestRoundTrip:
@@ -31,10 +33,11 @@ class TestRoundTrip:
         assert (path / "manifest.json").exists()
         assert (path / "collection.jsonl").exists()
         assert (path / "postings.bin").exists()
+        assert (path.parent / "CURRENT").read_text().strip() == path.name
 
     def test_loaded_searcher_answers_match(self, saved, small_vocab):
         path, _m, original = saved
-        loaded = load_searcher(path)
+        loaded = load_searcher(path.parent)
         import random
 
         rng = random.Random(77)
@@ -69,6 +72,50 @@ class TestRoundTrip:
         assert not loaded.index.with_hash_index
 
 
+class TestFlatLayout:
+    def test_flat_round_trip(self, tmp_path, searcher, small_vocab):
+        save_searcher(searcher, tmp_path / "flat", layout="flat")
+        assert (tmp_path / "flat" / "manifest.json").exists()
+        assert not (tmp_path / "flat" / "CURRENT").exists()
+        loaded = load_searcher(tmp_path / "flat")
+        assert loaded.recovery_report.legacy
+        q = small_vocab[:3]
+        a = {(r.set_id, round(r.score, 9))
+             for r in searcher.search(q, 0.5).results}
+        b = {(r.set_id, round(r.score, 9))
+             for r in loaded.search(q, 0.5).results}
+        assert a == b
+
+    def test_legacy_v1_manifest_without_checksums_loads(self, tmp_path):
+        # A directory written by the version-1 code has no checksum map;
+        # the loader must still accept it (postings verification covers
+        # it) rather than demand fields the old writer never produced.
+        coll = SetCollection.from_token_sets([["a", "b"], ["b", "c"]])
+        save_searcher(
+            SetSimilaritySearcher(coll), tmp_path / "v1", layout="flat"
+        )
+        manifest = json.loads((tmp_path / "v1" / "manifest.json").read_text())
+        manifest["format_version"] = 1
+        del manifest["checksums"]
+        (tmp_path / "v1" / "manifest.json").write_text(json.dumps(manifest))
+        loaded = load_searcher(tmp_path / "v1")
+        assert len(loaded.collection) == 2
+
+    def test_unknown_layout_rejected(self, tmp_path, searcher):
+        with pytest.raises(StorageError):
+            save_searcher(searcher, tmp_path / "x", layout="zip")
+
+    def test_successive_saves_advance_generations(self, tmp_path, searcher):
+        save_searcher(searcher, tmp_path / "g")
+        save_searcher(searcher, tmp_path / "g")
+        assert (tmp_path / "g" / "gen-000002").is_dir()
+        assert (
+            tmp_path / "g" / "CURRENT"
+        ).read_text().strip() == "gen-000002"
+        loaded = load_searcher(tmp_path / "g")
+        assert loaded.recovery_report.loaded_generation == "gen-000002"
+
+
 class TestFailureModes:
     def test_missing_manifest(self, tmp_path):
         with pytest.raises(StorageError):
@@ -80,14 +127,14 @@ class TestFailureModes:
         manifest["format_version"] = 99
         (path / "manifest.json").write_text(json.dumps(manifest))
         with pytest.raises(StorageError):
-            load_searcher(path)
+            load_searcher(path.parent)
 
     def test_truncated_collection_detected(self, saved):
         path, _m, _s = saved
         lines = (path / "collection.jsonl").read_text().splitlines()
         (path / "collection.jsonl").write_text("\n".join(lines[:-5]) + "\n")
         with pytest.raises(StorageError):
-            load_searcher(path)
+            load_searcher(path.parent)
 
     def test_corrupted_postings_detected(self, saved):
         path, _m, _s = saved
@@ -96,7 +143,7 @@ class TestFailureModes:
         data[len(data) // 2] ^= 0xFF
         (path / "postings.bin").write_bytes(bytes(data))
         with pytest.raises(StorageError):
-            load_searcher(path)
+            load_searcher(path.parent)
 
     def test_unserializable_payload_rejected(self, tmp_path):
         coll = SetCollection()
@@ -116,7 +163,8 @@ class TestFailureModes:
             [["a", "b"], ["b", "c"], ["c", "d"], ["a", "d"]]
         )
         save_searcher(SetSimilaritySearcher(coll), tmp_path / "fz")
-        original = (tmp_path / "fz" / "postings.bin").read_bytes()
+        postings = tmp_path / "fz" / "gen-000001" / "postings.bin"
+        original = postings.read_bytes()
         reference = load_searcher(tmp_path / "fz")
         ref_answers = {
             (r.set_id, round(r.score, 9))
@@ -128,7 +176,7 @@ class TestFailureModes:
             data = bytearray(original)
             pos = rng.randrange(len(data))
             data[pos] ^= 1 << rng.randrange(8)
-            (tmp_path / "fz" / "postings.bin").write_bytes(bytes(data))
+            postings.write_bytes(bytes(data))
             try:
                 loaded = load_searcher(tmp_path / "fz")
             except StorageError:
@@ -140,4 +188,4 @@ class TestFailureModes:
             }
             assert got == ref_answers
         assert raised > 0  # the verifier actually fires
-        (tmp_path / "fz" / "postings.bin").write_bytes(original)
+        postings.write_bytes(original)

@@ -1,0 +1,337 @@
+"""Tests for the service resilience layer (retry / breaker / admission).
+
+The contract under test, per ``docs/robustness.md``:
+
+* transient backend failures are retried with seeded full-jitter
+  backoff and absorbed — results under injected faults are *identical*
+  to a fault-free run, with ``retries_total > 0`` proving retries did
+  the absorbing;
+* the circuit breaker opens after ``threshold`` consecutive failures,
+  fails fast while open, and closes through a single half-open probe;
+* admission control sheds (never queues) work beyond ``max_inflight``
+  and while draining, with ``Retry-After`` guidance in the error;
+* drain waits for in-flight queries, then the service refuses new ones.
+"""
+
+import threading
+
+import pytest
+
+from repro import (
+    ServiceConfig,
+    SetCollection,
+    SetSimilaritySearcher,
+    SimilarityService,
+)
+from repro.core.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    ServiceOverloadError,
+)
+from repro.faults import TransientIOError, use_fault_plan
+from repro.obs import metrics as obs_metrics
+from repro.service.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    AdmissionController,
+    CircuitBreaker,
+    RetryPolicy,
+    call_with_retries,
+)
+
+TOKEN_SETS = [
+    ["data", "cleaning", "matters"],
+    ["data", "cleaning"],
+    ["query", "processing"],
+    ["set", "similarity", "query", "processing"],
+    ["data", "quality", "matters"],
+    ["similarity", "selection"],
+    ["query", "planning", "matters"],
+    ["set", "union", "intersection"],
+]
+
+QUERIES = [list(tokens) for tokens in TOKEN_SETS]
+
+
+@pytest.fixture()
+def searcher():
+    return SetSimilaritySearcher(SetCollection.from_token_sets(TOKEN_SETS))
+
+
+class _Flaky:
+    """Callable failing with TransientIOError the first ``n`` calls."""
+
+    def __init__(self, failures, result="done"):
+        self.remaining = failures
+        self.result = result
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise TransientIOError("test.site")
+        return self.result
+
+
+class TestRetryPolicy:
+    def test_backoff_is_seeded_and_bounded(self):
+        a = RetryPolicy(base_delay=0.1, max_delay=0.5, seed=9)
+        b = RetryPolicy(base_delay=0.1, max_delay=0.5, seed=9)
+        seq_a = [a.backoff(k) for k in range(6)]
+        seq_b = [b.backoff(k) for k in range(6)]
+        assert seq_a == seq_b
+        for k, delay in enumerate(seq_a):
+            assert 0.0 <= delay <= min(0.5, 0.1 * 2 ** k)
+        # The exponential ceiling caps at max_delay.
+        assert max(seq_a) <= 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+
+    def test_success_after_transient_failures(self):
+        slept = []
+        policy = RetryPolicy(attempts=3, seed=1, sleeper=slept.append)
+        flaky = _Flaky(failures=2)
+        assert call_with_retries(flaky, policy=policy) == "done"
+        assert flaky.calls == 3
+        assert len(slept) == 2  # one backoff per retry, via the stub
+
+    def test_budget_exhaustion_reraises_last_error(self):
+        policy = RetryPolicy(attempts=2, seed=1, sleeper=lambda _d: None)
+        with pytest.raises(TransientIOError):
+            call_with_retries(_Flaky(failures=5), policy=policy)
+
+    def test_non_retryable_propagates_immediately(self):
+        policy = RetryPolicy(attempts=5, seed=1, sleeper=lambda _d: None)
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            call_with_retries(boom, policy=policy)
+        assert len(calls) == 1
+
+    def test_retry_metrics(self):
+        with obs_metrics.use_registry(obs_metrics.MetricsRegistry()) as reg:
+            policy = RetryPolicy(attempts=4, seed=1, sleeper=lambda _d: None)
+            call_with_retries(_Flaky(failures=3), policy=policy)
+            assert reg.total("retries_total") == 3
+            assert reg.get("retry_backoff_seconds").labels().count == 3
+
+
+class TestCircuitBreaker:
+    @staticmethod
+    def _broken(threshold=3, reset_seconds=10.0):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(
+            threshold=threshold,
+            reset_seconds=reset_seconds,
+            clock=lambda: clock["now"],
+        )
+        return breaker, clock
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _clock = self._broken(threshold=3)
+        for _ in range(3):
+            breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        with pytest.raises(CircuitOpenError) as exc:
+            breaker.allow()
+        assert exc.value.retry_after > 0
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _clock = self._broken(threshold=3)
+        for _ in range(2):
+            breaker.allow()
+            breaker.record_failure()
+        breaker.allow()
+        breaker.record_success()
+        breaker.allow()
+        breaker.record_failure()  # streak restarted: 1 of 3
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_probe_closes_on_success(self):
+        breaker, clock = self._broken(threshold=2, reset_seconds=5.0)
+        for _ in range(2):
+            breaker.allow()
+            breaker.record_failure()
+        clock["now"] = 6.0
+        breaker.allow()  # the half-open probe
+        assert breaker.state == BREAKER_HALF_OPEN
+        # Only one probe at a time: a second caller is refused.
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.state_name == "closed"
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, clock = self._broken(threshold=2, reset_seconds=5.0)
+        for _ in range(2):
+            breaker.allow()
+            breaker.record_failure()
+        clock["now"] = 6.0
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+
+    def test_state_gauge(self):
+        with obs_metrics.use_registry(obs_metrics.MetricsRegistry()) as reg:
+            breaker, _clock = self._broken(threshold=1)
+            breaker.allow()
+            breaker.record_failure()
+            assert reg.get("breaker_state").labels().value == BREAKER_OPEN
+
+
+class TestAdmissionController:
+    def test_sheds_beyond_max_inflight(self):
+        with obs_metrics.use_registry(obs_metrics.MetricsRegistry()) as reg:
+            admission = AdmissionController(max_inflight=2)
+            admission.acquire(2)
+            with pytest.raises(ServiceOverloadError) as exc:
+                admission.acquire(1)
+            assert exc.value.retry_after == 1.0
+            counter = reg.get("queries_shed_total")
+            assert counter.labels(reason="overload").value == 1
+            admission.release(2)
+            admission.acquire(1)  # capacity is back
+
+    def test_draining_sheds_everything(self):
+        admission = AdmissionController()
+        admission.begin_drain()
+        with pytest.raises(ServiceOverloadError) as exc:
+            admission.acquire(1)
+        assert exc.value.retry_after == 5.0
+        admission.resume()
+        admission.acquire(1)
+
+    def test_drain_waits_for_inflight(self):
+        admission = AdmissionController()
+        admission.acquire(1)
+        released = threading.Event()
+
+        def releaser():
+            released.wait(5.0)
+            admission.release(1)
+
+        thread = threading.Thread(target=releaser)
+        thread.start()
+        released.set()
+        assert admission.drain(timeout=5.0)
+        thread.join()
+        assert admission.inflight == 0 and admission.draining
+
+    def test_drain_timeout_reports_false(self):
+        admission = AdmissionController()
+        admission.acquire(1)
+        assert not admission.drain(timeout=0.01)
+        admission.release(1)
+
+
+class TestServiceResilience:
+    """The service-level wiring: faults in, identical answers out."""
+
+    @staticmethod
+    def _service(searcher, **overrides):
+        config = ServiceConfig(
+            retry_base_delay=0.0,  # jitter draws collapse to 0: no sleeping
+            **overrides,
+        )
+        return SimilarityService(searcher, config=config)
+
+    def test_batch_exact_under_transient_read_faults(self, searcher):
+        with SimilarityService(searcher) as plain:
+            baseline = [
+                {(r.set_id, round(r.score, 9)) for r in res.result.results}
+                for res in plain.search_batch(QUERIES, 0.4)
+            ]
+        with obs_metrics.use_registry(obs_metrics.MetricsRegistry()) as reg:
+            with self._service(searcher) as service:
+                with use_fault_plan(
+                    "seed=11;service.execute:transient:p=0.4"
+                ) as plan:
+                    results = service.search_batch(QUERIES, 0.4)
+            got = [
+                {(r.set_id, round(r.score, 9)) for r in res.result.results}
+                for res in results
+            ]
+            assert got == baseline
+            assert plan.injected_total() > 0  # faults actually fired...
+            assert reg.total("retries_total") > 0  # ...and were retried
+
+    def test_retry_budget_exhaustion_surfaces_the_error(self, searcher):
+        with self._service(searcher, retry_attempts=2) as service:
+            with use_fault_plan("service.execute:transient:p=1"):
+                with pytest.raises(TransientIOError):
+                    service.search(["data", "cleaning"], 0.4)
+
+    def test_breaker_opens_and_fails_fast(self, searcher):
+        with self._service(
+            searcher, retry_attempts=1, breaker_threshold=2
+        ) as service:
+            with use_fault_plan("service.execute:transient:p=1") as plan:
+                for _ in range(2):
+                    with pytest.raises(TransientIOError):
+                        service.search(["query", "processing"], 0.4)
+                fired_before = plan.injected_total()
+                # Breaker now open: fails fast without touching the
+                # backend (no further injections).
+                with pytest.raises(CircuitOpenError):
+                    service.search(["query", "processing"], 0.4)
+                assert plan.injected_total() == fired_before
+            assert service.stats()["breaker_state"] == "open"
+
+    def test_max_inflight_sheds_concurrent_queries(self, searcher):
+        with self._service(searcher, max_inflight=1) as service:
+            entered = threading.Event()
+            unblock = threading.Event()
+            original = service._execute_raw
+
+            def slow_execute(*args):
+                entered.set()
+                unblock.wait(5.0)
+                return original(*args)
+
+            service._execute_raw = slow_execute
+            worker = threading.Thread(
+                target=lambda: service.search(["data", "cleaning"], 0.4)
+            )
+            worker.start()
+            try:
+                assert entered.wait(5.0)
+                with pytest.raises(ServiceOverloadError):
+                    service.search(["query", "processing"], 0.4)
+            finally:
+                unblock.set()
+                worker.join()
+
+    def test_drain_then_refuse(self, searcher):
+        with self._service(searcher) as service:
+            service.search(["data", "cleaning"], 0.4)
+            assert service.drain(timeout=5.0)
+            assert service.stats()["draining"]
+            with pytest.raises(ServiceOverloadError):
+                service.search(["data", "cleaning"], 0.4)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(retry_attempts=0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(breaker_threshold=0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(max_inflight=0)
+
+    def test_stats_surface_resilience_state(self, searcher):
+        with self._service(searcher) as service:
+            stats = service.stats()
+            assert stats["inflight"] == 0
+            assert stats["draining"] is False
+            assert stats["breaker_state"] == "closed"

@@ -503,3 +503,72 @@ class TestHTTPServer:
         ) as resp:
             assert resp.status == 200
             assert resp.read() == b""
+
+
+class TestHTTPResilience:
+    """The failure-path HTTP contract: 503 when shedding, JSON 500 on
+    unexpected handler errors — never a raw traceback on the socket."""
+
+    @pytest.fixture()
+    def server(self):
+        tokenizer = QGramTokenizer()
+        collection = SetCollection.from_strings(
+            ["Main Street", "Maine Street", "Elm Avenue"], tokenizer
+        )
+        service = SimilarityService(
+            SetSimilaritySearcher(collection), tokenizer=tokenizer
+        )
+        with ServiceHTTPServer(service, port=0) as server:
+            yield server
+        service.close()
+
+    @staticmethod
+    def _post_raw(url, body):
+        request = urllib.request.Request(
+            url, data=json.dumps(body).encode("utf-8")
+        )
+        return urllib.request.urlopen(request, timeout=10)
+
+    def test_draining_service_returns_503_with_retry_after(self, server):
+        with obs_metrics.use_registry(obs_metrics.MetricsRegistry()) as reg:
+            server.service.drain(timeout=5.0)
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                self._post_raw(
+                    server.url + "/search",
+                    {"text": "Main", "threshold": 0.5},
+                )
+            assert exc.value.code == 503
+            assert exc.value.headers["Retry-After"] == "5"
+            body = json.loads(exc.value.read())
+            assert body["overloaded"] and not body["ok"]
+            errors = reg.get("http_errors_total")
+            assert errors.labels(status="503").value == 1
+            shed = reg.get("queries_shed_total")
+            assert shed.labels(reason="draining").value == 1
+
+    def test_unexpected_error_returns_json_500(self, server):
+        def explode(*_args, **_kwargs):
+            raise RuntimeError("wiring gone bad")
+
+        server.service.search = explode
+        with obs_metrics.use_registry(obs_metrics.MetricsRegistry()) as reg:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                self._post_raw(
+                    server.url + "/search",
+                    {"text": "Main", "threshold": 0.5},
+                )
+            assert exc.value.code == 500
+            body = json.loads(exc.value.read())
+            # The type is surfaced, the message is withheld.
+            assert body["error"] == "internal error (RuntimeError)"
+            assert "wiring" not in json.dumps(body)
+            errors = reg.get("http_errors_total")
+            assert errors.labels(status="500").value == 1
+
+    def test_resumed_service_serves_again(self, server):
+        server.service.drain(timeout=5.0)
+        server.service._admission.resume()
+        body = TestHTTPServer._post(
+            server.url + "/search", {"text": "Main", "threshold": 0.5}
+        )
+        assert body["ok"]

@@ -17,6 +17,7 @@ sys.path.insert(0, str(REPO_ROOT))
 from tools.check import run_checks  # noqa: E402
 from tools.check import (  # noqa: E402
     algocontract,
+    broadexcept,
     docrefs,
     floatcmp,
     layering,
@@ -183,6 +184,44 @@ class TestTimeSourcePass:
         code, output = run_cli(str(FIXTURES / "timesource_bad.py"))
         assert code == 1
         assert "time-source" in output
+
+
+class TestBroadExceptPass:
+    def test_good_fixture_clean(self):
+        # Narrow handlers, a pragma'd deliberate catch-all, and a broad
+        # handler outside the patrolled layers must all pass.
+        assert broadexcept.run(modules_of("broadexcept_good")) == []
+
+    def test_bad_fixture_all_flavours_flagged(self):
+        violations = broadexcept.run(modules_of("broadexcept_bad"))
+        # except Exception, bare except, Exception inside a tuple.
+        assert len(violations) == 3
+        assert {v.line for v in violations} == {7, 14, 21}
+        messages = " ".join(repr(v) for v in violations)
+        assert "(bare except)" in messages
+        assert "allow-broad-except" in messages
+
+    def test_cli_exits_nonzero_on_bad_fixture(self):
+        code, output = run_cli(str(FIXTURES / "broadexcept_bad"))
+        assert code == 1
+        assert "broad-except" in output
+
+
+class TestFaultsLayer:
+    def test_faults_is_rank_zero(self):
+        # The fault-injection package sits beside obs at the bottom of
+        # the DAG: anything may import it, it imports nothing upward.
+        assert layering.LAYERS["faults"] == 0
+        assert layering.LAYERS["faults"] == layering.LAYERS["obs"]
+
+    def test_faults_package_imports_nothing_internal(self):
+        modules = load_modules([SRC / "faults"])
+        edges = layering.layering_edges(modules, "repro")
+        upward = [
+            (m.name, target) for m, _line, _src, target in edges
+            if target != "faults"
+        ]
+        assert upward == []
 
 
 class TestCliBehaviour:

@@ -17,7 +17,15 @@ import sys
 from pathlib import Path
 from typing import IO, List, Optional
 
-from . import algocontract, docrefs, docsnippets, floatcmp, layering, timesource
+from . import (
+    algocontract,
+    broadexcept,
+    docrefs,
+    docsnippets,
+    floatcmp,
+    layering,
+    timesource,
+)
 from .base import CheckError, load_modules
 from .baseline import read_baseline, write_baseline
 
@@ -31,6 +39,7 @@ PASSES = {
     algocontract.CHECK_NAME: algocontract.run,
     docrefs.CHECK_NAME: docrefs.run,
     timesource.CHECK_NAME: timesource.run,
+    broadexcept.CHECK_NAME: broadexcept.run,
     docsnippets.CHECK_NAME: None,  # handled specially (runs md snippets)
 }
 

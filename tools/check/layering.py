@@ -2,7 +2,7 @@
 
 The package layers, from foundation to application::
 
-    obs                      # telemetry: metrics registry + span tracer
+    obs, faults              # telemetry · seeded fault injection
       └─ core                # measure, properties, collections, errors
           └─ contracts       # runtime invariant checks (core only)
               └─ data, storage   # corpora / physical index structures
@@ -12,9 +12,10 @@ The package layers, from foundation to application::
                               └─ eval
                                   └─ cli, __main__, package root
 
-``obs`` is the universal bottom layer: anything may import it, it
-imports nothing from the package (its registry and tracer are pure
-stdlib), so instrumentation can never create an import cycle.
+``obs`` and ``faults`` are the universal bottom layer: anything may
+import them, they import nothing from the package at module level
+(registry, tracer, and fault plans are pure stdlib), so
+instrumentation and fault points can never create an import cycle.
 
 A module may import its own layer or any *strictly lower* layer at
 module level.  Upward (or sideways, e.g. ``data ↔ storage``) imports
@@ -47,6 +48,7 @@ CHECK_NAME = "layering"
 # contracts, __main__) are layers of their own.
 LAYERS: Dict[str, int] = {
     "obs": 0,
+    "faults": 0,
     "core": 1,
     "contracts": 2,
     "data": 3,
